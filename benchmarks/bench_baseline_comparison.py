@@ -1,0 +1,38 @@
+"""Benchmark E6 — P2P-LTR vs. centralized reconciler vs. last-writer-wins.
+
+The paper motivates P2P-LTR by the bottleneck / single-point-of-failure of
+single-node reconcilers and by the need to keep every user's contribution.
+This benchmark runs the same concurrent-editing workload against all three
+systems and reports which of them (a) keeps all updates and (b) survives
+the crash of its coordinator.
+
+Run with ``pytest benchmarks/bench_baseline_comparison.py --benchmark-only -s``.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_benchmark_baseline_comparison(benchmark):
+    """E6: only P2P-LTR keeps every update *and* has no single point of failure."""
+    run = benchmark.pedantic(
+        lambda: run_experiment(
+            "E6",
+            quick=True,
+            overrides={"updater_counts": (2, 4, 8), "peers": 16},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = run.table
+    print()
+    print(table.render())
+
+    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    ltr_rows = [row for row in rows if row["system"] == "p2p-ltr"]
+    central_rows = [row for row in rows if row["system"] == "central"]
+    lww_rows = [row for row in rows if row["system"] == "lww"]
+
+    assert all(row["all_updates_preserved"] for row in ltr_rows)
+    assert all(row["survives_coordinator_crash"] for row in ltr_rows)
+    assert all(not row["survives_coordinator_crash"] for row in central_rows)
+    assert all(row["lost_updates"] > 0 for row in lww_rows)

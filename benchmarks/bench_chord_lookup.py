@@ -1,0 +1,34 @@
+"""Benchmark E8 — Chord substrate health: lookup correctness and hop counts.
+
+P2P-LTR's correctness rests on the DHT resolving every key to the right
+responsible peer; its response times rest on lookups taking O(log N) hops.
+This benchmark validates the Open Chord substitute on both counts across
+ring sizes.
+
+Run with ``pytest benchmarks/bench_chord_lookup.py --benchmark-only -s``.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_benchmark_chord_lookup(benchmark):
+    """E8: lookups are correct and hop counts grow slowly with ring size."""
+    run = benchmark.pedantic(
+        lambda: run_experiment(
+            "E8",
+            quick=True,
+            overrides={"peer_counts": (8, 16, 32, 64), "lookups": 40},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = run.table
+    print()
+    print(table.render())
+
+    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    assert all(row["correct_fraction"] == 1.0 for row in rows)
+    # Logarithmic growth: the 64-peer ring needs far fewer than 8x the hops
+    # of the 8-peer ring.
+    assert rows[-1]["mean_hops"] <= 4 * max(rows[0]["mean_hops"], 1.0)
+    assert all(row["max_hops"] <= 64 for row in rows)

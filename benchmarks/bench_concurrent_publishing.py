@@ -1,0 +1,37 @@
+"""Benchmark E2 — Scenario "Concurrent patch publishing" (paper Figure 5).
+
+Concurrent updaters edit the same document; the Master-key peer serializes
+their validations, lagging updaters retrieve the missing patches in
+continuous total order, and every replica converges.  The table reports the
+retrieval/attempt counts and commit response times as the number of
+concurrent updaters grows.
+
+Run with ``pytest benchmarks/bench_concurrent_publishing.py --benchmark-only -s``.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_benchmark_concurrent_publishing(benchmark):
+    """E2: serialization, total-order retrieval and eventual consistency."""
+    run = benchmark.pedantic(
+        lambda: run_experiment(
+            "E2",
+            quick=True,
+            overrides={"updater_counts": (2, 4, 8, 16), "peers": 20},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = run.table
+    print()
+    print(table.render())
+
+    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    # Eventual consistency for every level of contention.
+    assert all(row["converged"] for row in rows)
+    # Continuous timestamps: the final ts equals the number of updaters.
+    assert [row["validated_ts"] for row in rows] == [2, 4, 8, 16]
+    # Expected shape: contention increases retrieval work and response time.
+    assert rows[-1]["mean_retrieved"] >= rows[0]["mean_retrieved"]
+    assert rows[-1]["mean_commit_latency_s"] >= rows[0]["mean_commit_latency_s"]

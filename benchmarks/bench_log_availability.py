@@ -1,0 +1,40 @@
+"""Benchmark E7 — P2P-Log availability vs. replication factor |Hr| (ablation).
+
+The P2P-Log places every timestamped patch at ``n = |Hr|`` Log-Peers via the
+replication hash functions, and the DHT additionally keeps successor
+replicas (the Log-Peer-Succ role).  This ablation crashes Log-Peers and
+measures which fraction of the published patches is still retrievable, as a
+function of the replication factor.
+
+Run with ``pytest benchmarks/bench_log_availability.py --benchmark-only -s``.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_benchmark_log_availability(benchmark):
+    """E7: availability improves with the size of the replication hash family."""
+    run = benchmark.pedantic(
+        lambda: run_experiment(
+            "E7",
+            quick=True,
+            overrides={
+                "replication_factors": (1, 2, 3, 4),
+                "crashed_log_peers": 2,
+                "peers": 16,
+                "entries": 10,
+            },
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = run.table
+    print()
+    print(table.render())
+
+    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    assert [row["replication_factor"] for row in rows] == [1, 2, 3, 4]
+    # More placements survive with a larger hash family.
+    assert rows[-1]["mean_available_placements"] > rows[0]["mean_available_placements"]
+    # With |Hr| >= 2 every patch remains retrievable after two Log-Peer crashes.
+    assert all(row["retrievable_fraction"] == 1.0 for row in rows if row["replication_factor"] >= 2)

@@ -1,0 +1,35 @@
+"""Benchmark E4 — Scenario "New Master-key peer joining".
+
+New peers join a running system and become Master-key peers for part of the
+key space.  The table verifies that the previous responsible peers hand over
+their keys and timestamp counters, that updates after the join continue the
+timestamp sequence, and that eventual consistency is preserved.
+
+Run with ``pytest benchmarks/bench_master_join.py --benchmark-only -s``.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_benchmark_master_join(benchmark):
+    """E4: key/timestamp hand-over to joining Master-key peers."""
+    run = benchmark.pedantic(
+        lambda: run_experiment(
+            "E4",
+            quick=True,
+            overrides={"joiners": 3, "peers": 8, "documents": 24},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = run.table
+    print()
+    print(table.render())
+
+    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    assert len(rows) == 3
+    assert all(row["counters_correct"] for row in rows)
+    assert all(row["post_join_commit_ok"] for row in rows)
+    assert all(row["converged_sample"] for row in rows)
+    # At least one joiner actually took over some keys (hash-dependent).
+    assert sum(row["keys_taken_over"] for row in rows) >= 1

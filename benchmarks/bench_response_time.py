@@ -1,0 +1,46 @@
+"""Benchmark E5 — Update response time vs. number of peers and network latency.
+
+The paper's prototype is used to "check the correctness and response times
+of P2P-LTR" while the demonstrator varies the number of peers and the
+network latencies.  This benchmark sweeps both knobs and reports the commit
+(validate + publish + acknowledge) response time.
+
+Run with ``pytest benchmarks/bench_response_time.py --benchmark-only -s``.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_benchmark_response_time(benchmark):
+    """E5: response time grows with latency, stays flat-ish with ring size."""
+    run = benchmark.pedantic(
+        lambda: run_experiment(
+            "E5",
+            quick=True,
+            overrides={
+                "peer_counts": (8, 16, 32),
+                "latency_presets": ("lan", "campus", "wan"),
+                "commits_per_setting": 8,
+            },
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = run.table
+    print()
+    print(table.render())
+
+    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    by_peers: dict[int, dict[str, float]] = {}
+    for row in rows:
+        by_peers.setdefault(row["peers"], {})[row["latency_preset"]] = row[
+            "mean_commit_latency_s"
+        ]
+    # Expected shape: for every ring size, WAN latency costs more than LAN.
+    for peers, presets in by_peers.items():
+        assert presets["wan"] > presets["lan"], f"unexpected ordering for {peers} peers"
+    # Expected shape: growing the ring 4x does not grow LAN response time 4x
+    # (lookups are logarithmic, the validation path is a constant number of hops).
+    smallest = min(by_peers)
+    largest = max(by_peers)
+    assert by_peers[largest]["lan"] < 4 * by_peers[smallest]["lan"] + 0.05

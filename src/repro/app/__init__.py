@@ -1,0 +1,5 @@
+"""Application layer: the collaborative wiki the paper uses as motivation."""
+
+from .wiki import PAGE_PREFIX, CollaborativeWiki, EditorSession, PageRevision
+
+__all__ = ["CollaborativeWiki", "EditorSession", "PAGE_PREFIX", "PageRevision"]

@@ -1,0 +1,14 @@
+"""Comparison baselines: centralized reconciler and last-writer-wins replication."""
+
+from .central import CentralClient, CentralReconciler, CentralSystem
+from .lww import LwwPeer, LwwRegister, LwwSystem, LwwTag
+
+__all__ = [
+    "CentralClient",
+    "CentralReconciler",
+    "CentralSystem",
+    "LwwPeer",
+    "LwwRegister",
+    "LwwSystem",
+    "LwwTag",
+]

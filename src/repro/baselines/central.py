@@ -1,0 +1,253 @@
+"""Centralized reconciler baseline.
+
+The paper's introduction motivates a P2P design by observing that
+"some semantic reconciliation engines are implemented in a single node
+(reconciler node), which may introduce bottlenecks and single point of
+failures".  This module implements that alternative: one dedicated
+reconciler peer holds the timestamp counters and the whole patch log; every
+other peer sends its tentative patches to it and retrieves missing patches
+from it.  Experiment E6 compares it against P2P-LTR for throughput scaling
+and for behaviour when the reconciler fails.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import (
+    MasterUnavailable,
+    NodeUnreachable,
+    RequestTimeout,
+    ValidationFailed,
+)
+from ..net import Address, Network, RpcAgent
+from ..ot import Document, Patch, integrate_remote_patches, make_patch
+from ..sim import FifoLock, Simulator
+
+
+class CentralReconciler:
+    """The single reconciler node: orders, stores and serves all patches."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 name: str = "central-reconciler", *, service_delay: float = 0.0) -> None:
+        self.sim = sim
+        self.network = network
+        self.address = Address(name)
+        self.rpc = RpcAgent(sim, network, self.address)
+        self.service_delay = service_delay
+        self._last_ts: dict[str, int] = {}
+        self._log: dict[str, list[Patch]] = {}
+        self._locks: dict[str, FifoLock] = {}
+        self.validations = 0
+        self.rejections = 0
+        self.rpc.expose("central_submit", self.handle_submit)
+        self.rpc.expose("central_last_ts", self.handle_last_ts)
+        self.rpc.expose("central_fetch", self.handle_fetch)
+
+    # -- handlers ------------------------------------------------------------
+
+    def _lock_for(self, key: str) -> FifoLock:
+        lock = self._locks.get(key)
+        if lock is None:
+            lock = FifoLock(self.sim)
+            self._locks[key] = lock
+        return lock
+
+    def handle_submit(self, key: str, ts: int, patch: Patch, author: str = "unknown"):
+        """Validate and append a patch (mirrors the Master-key validation)."""
+        lock = self._lock_for(key)
+        yield from lock.acquire()
+        try:
+            if self.service_delay > 0:
+                yield self.sim.timeout(self.service_delay)
+            last_ts = self._last_ts.get(key, 0)
+            if ts != last_ts + 1:
+                self.rejections += 1
+                return {"status": "behind", "last_ts": last_ts}
+            self._log.setdefault(key, []).append(patch)
+            self._last_ts[key] = ts
+            self.validations += 1
+            return {"status": "ok", "ts": ts}
+        finally:
+            lock.release()
+
+    def handle_last_ts(self, key: str) -> int:
+        """Last validated timestamp of ``key``."""
+        return self._last_ts.get(key, 0)
+
+    def handle_fetch(self, key: str, from_ts: int, to_ts: int) -> list[Patch]:
+        """Patches ``from_ts .. to_ts`` (1-based, inclusive)."""
+        log = self._log.get(key, [])
+        return log[from_ts - 1: to_ts]
+
+    # -- failure injection ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash the reconciler: the single point of failure materialises."""
+        self.rpc.go_offline(crash=True)
+
+    def recover(self) -> None:
+        """Bring the reconciler back (state survives: it is a warm restart)."""
+        self.rpc.go_online()
+
+    # -- inspection -------------------------------------------------------------------
+
+    def statistics(self) -> dict[str, Any]:
+        """Validation counters for the comparison report."""
+        return {
+            "validations": self.validations,
+            "rejections": self.rejections,
+            "documents": len(self._last_ts),
+        }
+
+
+class CentralClient:
+    """A collaborating peer using the centralized reconciler."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str,
+                 reconciler: CentralReconciler, *,
+                 max_attempts: int = 64, rpc_timeout: Optional[float] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.address = Address(name)
+        self.rpc = RpcAgent(sim, network, self.address)
+        self.reconciler = reconciler
+        self.max_attempts = max_attempts
+        self.rpc_timeout = rpc_timeout
+        self.documents: dict[str, Document] = {}
+        self.pending: dict[str, Patch] = {}
+        self.commit_latencies: list[float] = []
+
+    # -- local editing ---------------------------------------------------------
+
+    def document(self, key: str) -> Document:
+        """The local replica of ``key`` (created on demand)."""
+        replica = self.documents.get(key)
+        if replica is None:
+            replica = Document(key=key)
+            self.documents[key] = replica
+        return replica
+
+    def working_lines(self, key: str) -> list[str]:
+        """Validated state plus pending local edits."""
+        replica = self.document(key)
+        patch = self.pending.get(key)
+        return patch.apply(replica.lines) if patch is not None else list(replica.lines)
+
+    def edit(self, key: str, new_text: str) -> None:
+        """Stage an edit against the current working copy."""
+        before = self.working_lines(key)
+        after = new_text.split("\n") if new_text else []
+        increment = make_patch(before, after, base_ts=self.document(key).applied_ts,
+                               author=self.name)
+        existing = self.pending.get(key)
+        self.pending[key] = increment if existing is None else existing.compose(increment)
+
+    # -- protocol ----------------------------------------------------------------------
+
+    def commit(self, key: str):
+        """Submit the pending patch to the central reconciler (process)."""
+        started = self.sim.now
+        replica = self.document(key)
+        pending = self.pending.pop(key, None)
+        if pending is None:
+            return None
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > self.max_attempts:
+                self.pending[key] = pending
+                raise ValidationFailed(f"{self.name} gave up committing {key!r}")
+            try:
+                answer = yield self.rpc.call(
+                    self.reconciler.address,
+                    "central_submit",
+                    key=key,
+                    ts=replica.applied_ts + 1,
+                    patch=pending,
+                    author=self.name,
+                    timeout=self.rpc_timeout,
+                )
+            except (RequestTimeout, NodeUnreachable) as exc:
+                self.pending[key] = pending
+                raise MasterUnavailable("central reconciler unreachable") from exc
+            if answer["status"] == "ok":
+                replica.apply_patch(pending, ts=answer["ts"])
+                latency = self.sim.now - started
+                self.commit_latencies.append(latency)
+                return {"ts": answer["ts"], "attempts": attempts, "latency": latency}
+            missing = yield self.rpc.call(
+                self.reconciler.address,
+                "central_fetch",
+                key=key,
+                from_ts=replica.applied_ts + 1,
+                to_ts=answer["last_ts"],
+                timeout=self.rpc_timeout,
+            )
+            pairs = [(replica.applied_ts + 1 + index, patch) for index, patch in enumerate(missing)]
+            merge = integrate_remote_patches(replica, pairs, pending)
+            pending = merge.rebased_local
+
+    def sync(self, key: str):
+        """Bring the local replica up to date from the reconciler (process)."""
+        replica = self.document(key)
+        last_ts = yield self.rpc.call(
+            self.reconciler.address, "central_last_ts", key=key, timeout=self.rpc_timeout
+        )
+        if last_ts <= replica.applied_ts:
+            return 0
+        missing = yield self.rpc.call(
+            self.reconciler.address,
+            "central_fetch",
+            key=key,
+            from_ts=replica.applied_ts + 1,
+            to_ts=last_ts,
+            timeout=self.rpc_timeout,
+        )
+        pairs = [(replica.applied_ts + 1 + index, patch) for index, patch in enumerate(missing)]
+        integrate_remote_patches(replica, pairs, self.pending.get(key))
+        return len(missing)
+
+
+class CentralSystem:
+    """Driver mirroring :class:`~repro.core.LtrSystem` for the baseline."""
+
+    def __init__(self, *, peer_count: int, sim: Optional[Simulator] = None,
+                 network: Optional[Network] = None, seed: int = 0,
+                 latency=None, service_delay: float = 0.0) -> None:
+        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.network = network if network is not None else Network(self.sim, latency=latency)
+        self.reconciler = CentralReconciler(self.sim, self.network, service_delay=service_delay)
+        self.clients = {
+            f"peer-{index}": CentralClient(self.sim, self.network, f"peer-{index}", self.reconciler)
+            for index in range(peer_count)
+        }
+
+    def client(self, name: str) -> CentralClient:
+        """The client peer registered under ``name``."""
+        return self.clients[name]
+
+    def edit_and_commit(self, peer: str, key: str, text: str):
+        """Synchronous edit + commit driver."""
+        client = self.clients[peer]
+        client.edit(key, text)
+        return self.sim.run(until=self.sim.process(client.commit(key)))
+
+    def run_concurrent_commits(self, edits):
+        """Concurrent commits from several peers (mirrors the LTR driver)."""
+        staged = []
+        for peer, key, text in edits:
+            self.clients[peer].edit(key, text)
+            staged.append((peer, key))
+        processes = [
+            self.sim.process(self.clients[peer].commit(key), name=f"central:{peer}:{key}")
+            for peer, key in staged
+        ]
+        results = []
+        for process in processes:
+            results.append(self.sim.run(until=process))
+        return results
+
+    def crash_reconciler(self) -> None:
+        """Crash the central reconciler (single point of failure)."""
+        self.reconciler.crash()

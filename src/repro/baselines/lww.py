@@ -1,0 +1,148 @@
+"""Last-writer-wins (LWW) timestamp reconciliation baseline.
+
+Classic optimistic-replication systems reconcile concurrent updates by
+keeping, for every object, only the update with the highest (wall-clock
+timestamp, writer id) pair.  This converges without any coordination but —
+unlike P2P-LTR's continuous timestamps plus operation log — it *loses*
+concurrent contributions: only the last writer's content survives.
+
+The baseline exists to quantify that difference in experiment E6: after the
+same concurrent-editing workload, P2P-LTR preserves every user's lines while
+LWW keeps only one writer's version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..net import Address, Network, RpcAgent
+from ..sim import Simulator
+
+
+@dataclass(frozen=True, order=True)
+class LwwTag:
+    """Ordering tag of an LWW write: (wall-clock time, writer id)."""
+
+    written_at: float
+    writer: str
+
+
+@dataclass
+class LwwRegister:
+    """The LWW state of one document on one replica."""
+
+    key: str
+    content: str = ""
+    tag: Optional[LwwTag] = None
+    overwritten_updates: int = 0
+
+    def write(self, content: str, tag: LwwTag) -> bool:
+        """Apply a local or remote write; returns ``True`` if it won."""
+        if self.tag is None or tag > self.tag:
+            if self.tag is not None:
+                self.overwritten_updates += 1
+            self.content = content
+            self.tag = tag
+            return True
+        self.overwritten_updates += 1
+        return False
+
+
+class LwwPeer:
+    """A replica using last-writer-wins reconciliation with broadcast dissemination."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str) -> None:
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.address = Address(name)
+        self.rpc = RpcAgent(sim, network, self.address)
+        self.registers: dict[str, LwwRegister] = {}
+        self.writes_issued = 0
+        self.writes_per_key: dict[str, int] = {}
+        self._peers: list[Address] = []
+        self.rpc.expose("lww_update", self.handle_update)
+
+    def set_peers(self, peers: Iterable["LwwPeer"]) -> None:
+        """Record the broadcast targets (all other replicas)."""
+        self._peers = [peer.address for peer in peers if peer.name != self.name]
+
+    def register(self, key: str) -> LwwRegister:
+        """The local register for ``key`` (created on demand)."""
+        register = self.registers.get(key)
+        if register is None:
+            register = LwwRegister(key=key)
+            self.registers[key] = register
+        return register
+
+    # -- protocol -----------------------------------------------------------------
+
+    def write(self, key: str, content: str) -> LwwTag:
+        """Write locally and broadcast the update to all other replicas."""
+        tag = LwwTag(written_at=self.sim.now, writer=self.name)
+        self.register(key).write(content, tag)
+        self.writes_issued += 1
+        self.writes_per_key[key] = self.writes_per_key.get(key, 0) + 1
+        for target in self._peers:
+            self.rpc.notify(target, "lww_update", key=key, content=content,
+                            written_at=tag.written_at, writer=tag.writer)
+        return tag
+
+    def handle_update(self, key: str, content: str, written_at: float, writer: str) -> None:
+        """Apply a remote update (keeping it only if it wins the LWW race)."""
+        self.register(key).write(content, LwwTag(written_at=written_at, writer=writer))
+
+    def read(self, key: str) -> str:
+        """The locally visible content of ``key``."""
+        return self.register(key).content
+
+
+@dataclass
+class LwwSystem:
+    """A set of LWW replicas connected by the simulated network."""
+
+    sim: Simulator
+    network: Network
+    peers: dict[str, LwwPeer] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, *, peer_count: int, sim: Optional[Simulator] = None,
+              network: Optional[Network] = None, seed: int = 0, latency=None) -> "LwwSystem":
+        """Create ``peer_count`` fully meshed LWW replicas."""
+        simulator = sim if sim is not None else Simulator(seed=seed)
+        net = network if network is not None else Network(simulator, latency=latency)
+        system = cls(sim=simulator, network=net)
+        for index in range(peer_count):
+            peer = LwwPeer(simulator, net, f"peer-{index}")
+            system.peers[peer.name] = peer
+        for peer in system.peers.values():
+            peer.set_peers(system.peers.values())
+        return system
+
+    def write(self, peer: str, key: str, content: str) -> LwwTag:
+        """Issue a write from ``peer`` (propagation happens asynchronously)."""
+        return self.peers[peer].write(key, content)
+
+    def settle(self, duration: float = 1.0) -> None:
+        """Let broadcast messages propagate."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def converged(self, key: str) -> bool:
+        """``True`` when every replica shows the same content for ``key``."""
+        contents = {peer.read(key) for peer in self.peers.values()}
+        return len(contents) <= 1
+
+    def surviving_content(self, key: str) -> str:
+        """The content all replicas agree on (call after :meth:`settle`)."""
+        return next(iter(self.peers.values())).read(key)
+
+    def lost_updates(self, key: str) -> int:
+        """Number of writes whose content did not survive reconciliation.
+
+        With LWW, every write except the winning one is lost (its content
+        appears nowhere in the final state) — the quantity experiment E6
+        contrasts with P2P-LTR's zero lost updates.
+        """
+        issued = sum(peer.writes_per_key.get(key, 0) for peer in self.peers.values())
+        return max(0, issued - 1)

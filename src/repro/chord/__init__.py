@@ -1,0 +1,57 @@
+"""A from-scratch Chord DHT: the Open Chord substitute of this reproduction.
+
+The P2P-LTR prototype is built on Open Chord (a Java implementation of the
+Chord protocol) with custom successor management and stabilization added by
+the authors.  This package provides the equivalent substrate in Python on
+top of the simulation kernel: identifier-space hashing, finger tables,
+successor lists, periodic stabilization, storage with key transfer on churn
+and successor replication, plus the :class:`ChordRing` orchestration helper
+used by tests, examples and benchmarks.
+"""
+
+from .config import ChordConfig
+from .finger import FingerTable
+from .hashing import (
+    DEFAULT_ID_BITS,
+    HashFunctionFamily,
+    SaltedHash,
+    hash_to_id,
+    key_distribution,
+    timestamp_hash,
+)
+from .idspace import (
+    clockwise_distance,
+    finger_start,
+    in_interval_closed_open,
+    in_interval_open,
+    in_interval_open_closed,
+)
+from .node import ChordNode
+from .refs import NodeRef
+from .ring import ChordRing
+from .services import NodeService
+from .storage import NodeStorage, StoredItem
+from .successors import SuccessorList
+
+__all__ = [
+    "DEFAULT_ID_BITS",
+    "ChordConfig",
+    "ChordNode",
+    "ChordRing",
+    "FingerTable",
+    "HashFunctionFamily",
+    "NodeRef",
+    "NodeService",
+    "NodeStorage",
+    "SaltedHash",
+    "StoredItem",
+    "SuccessorList",
+    "clockwise_distance",
+    "finger_start",
+    "hash_to_id",
+    "in_interval_closed_open",
+    "in_interval_open",
+    "in_interval_open_closed",
+    "key_distribution",
+    "timestamp_hash",
+]

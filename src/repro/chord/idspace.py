@@ -1,0 +1,60 @@
+"""Interval arithmetic on the circular Chord identifier space.
+
+All Chord routing decisions reduce to "is identifier *x* in the arc between
+*a* and *b*?" with various combinations of open/closed endpoints, on a ring
+that wraps around at ``2**m``.  Getting these right (especially the
+single-node ring where ``a == b``) is the classic source of Chord bugs, so
+the predicates live here with exhaustive unit tests.
+"""
+
+from __future__ import annotations
+
+
+def in_interval_open(x: int, a: int, b: int) -> bool:
+    """``x`` in the open arc ``(a, b)`` going clockwise from ``a`` to ``b``.
+
+    When ``a == b`` the arc covers the whole ring except ``a`` itself, which
+    is the convention Chord needs for single-node rings.
+    """
+    if a == b:
+        return x != a
+    if a < b:
+        return a < x < b
+    return x > a or x < b
+
+
+def in_interval_open_closed(x: int, a: int, b: int) -> bool:
+    """``x`` in the arc ``(a, b]``: open at ``a``, closed at ``b``.
+
+    This is the *responsibility interval*: the node with identifier ``b``
+    and predecessor ``a`` is responsible for exactly these identifiers.
+    When ``a == b`` the whole ring is covered (single-node ring owns all
+    keys).
+    """
+    if a == b:
+        return True
+    if a < b:
+        return a < x <= b
+    return x > a or x <= b
+
+
+def in_interval_closed_open(x: int, a: int, b: int) -> bool:
+    """``x`` in the arc ``[a, b)``: closed at ``a``, open at ``b``."""
+    if a == b:
+        return True
+    if a < b:
+        return a <= x < b
+    return x >= a or x < b
+
+
+def clockwise_distance(a: int, b: int, bits: int) -> int:
+    """Number of steps walking clockwise from ``a`` to ``b`` on a 2**bits ring."""
+    size = 1 << bits
+    return (b - a) % size
+
+
+def finger_start(node_id: int, finger_index: int, bits: int) -> int:
+    """Start of the ``finger_index``-th finger interval (0-based): ``n + 2**i``."""
+    if not 0 <= finger_index < bits:
+        raise ValueError(f"finger index {finger_index} out of range for {bits}-bit space")
+    return (node_id + (1 << finger_index)) % (1 << bits)

@@ -1,0 +1,599 @@
+"""A single Chord node: routing, stabilization, storage and churn handling.
+
+The node implements the protocol of Stoica et al. (ref [9] of the P2P-LTR
+report) with the extensions the P2P-LTR prototype added on top of Open
+Chord: successor lists sized for the *-Succ* backup roles, explicit key
+hand-off on graceful departure, replica promotion after a predecessor crash
+and service hooks so the timestamping layer learns about ownership changes.
+
+All long-running behaviour (joining, lookups, maintenance) is written as
+simulation processes; RPC handlers that need to contact other peers are
+generator handlers executed asynchronously by the RPC agent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ..errors import (
+    KeyNotFound,
+    LookupFailed,
+    NodeNotJoined,
+    NodeUnreachable,
+    RequestTimeout,
+)
+from ..net import Address, Network, RpcAgent
+from ..sim import Simulator
+from .config import ChordConfig
+from .finger import FingerTable
+from .hashing import hash_to_id
+from .idspace import in_interval_open, in_interval_open_closed
+from .refs import NodeRef
+from .services import NodeService
+from .storage import NodeStorage, StoredItem
+from .successors import SuccessorList
+
+_UNREACHABLE_ERRORS = (RequestTimeout, NodeUnreachable)
+
+
+class ChordNode:
+    """One peer of the Chord ring.
+
+    Parameters
+    ----------
+    sim, network:
+        The shared simulator and network of the experiment.
+    address:
+        This peer's network identity; the ring identifier is the SHA-1 hash
+        of the address name truncated to ``config.bits``.
+    config:
+        Chord tuning parameters.
+    services:
+        Application services hosted by this node (e.g. the P2P-LTR master
+        service); see :class:`~repro.chord.services.NodeService`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: Address,
+        config: Optional[ChordConfig] = None,
+        services: Optional[Iterable[NodeService]] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.config = config if config is not None else ChordConfig()
+        self.address = address
+        self.node_id = hash_to_id(address.name, self.config.bits)
+        self.ref = NodeRef(self.node_id, address)
+
+        self.rpc = RpcAgent(sim, network, address)
+        self.storage = NodeStorage(self.config.bits)
+        self.fingers = FingerTable(self.node_id, self.config.bits)
+        self.successors = SuccessorList(self.node_id, self.config.successor_list_size)
+        self.predecessor: Optional[NodeRef] = None
+
+        self.alive = False
+        self._next_finger = 0
+        self._replica_targets: tuple[NodeRef, ...] = ()
+        self.lookups_served = 0
+
+        self.services: list[NodeService] = list(services or [])
+        self.rpc.expose_object(self)
+        for service in self.services:
+            service.attach(self)
+
+    # ------------------------------------------------------------------ api --
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ChordNode {self.address.name} id={self.node_id} alive={self.alive}>"
+
+    @property
+    def successor(self) -> Optional[NodeRef]:
+        """The node's current immediate successor."""
+        return self.successors.head
+
+    def add_service(self, service: NodeService) -> None:
+        """Attach an additional application service after construction."""
+        self.services.append(service)
+        service.attach(self)
+
+    def service(self, name: str) -> Optional[NodeService]:
+        """Find an attached service by its ``name`` attribute."""
+        for candidate in self.services:
+            if candidate.name == name:
+                return candidate
+        return None
+
+    # ------------------------------------------------------- ring membership --
+
+    def create(self) -> None:
+        """Bootstrap a brand new ring containing only this node."""
+        self.predecessor = None
+        self.successors.replace([self.ref])
+        self.fingers.fill_with(self.ref)
+        self.alive = True
+        self._start_maintenance()
+
+    def join(self, bootstrap: Address):
+        """Join an existing ring through the peer at ``bootstrap``.
+
+        Simulation process: yields until the node has located its successor
+        and received the keys it is now responsible for.
+        """
+        answer = yield from self.rpc.request(
+            bootstrap,
+            "find_successor",
+            target_id=self.node_id,
+            hops=0,
+            timeout=self.config.rpc_timeout,
+            retries=self.config.rpc_retries,
+        )
+        successor: NodeRef = answer["node"]
+        self.predecessor = None
+        self.successors.replace([successor])
+        self.fingers.fill_with(successor)
+        self.alive = True
+        self._start_maintenance()
+
+        # Ask the successor for the keys that now belong to us.
+        try:
+            items = yield self.rpc.call(
+                successor.address,
+                "handoff_keys",
+                requester=self.ref,
+                timeout=self.config.rpc_timeout,
+            )
+        except _UNREACHABLE_ERRORS:
+            items = []
+        if items:
+            self._absorb_items(items, as_replica=False)
+        return self.ref
+
+    def leave(self):
+        """Gracefully leave the ring, handing keys to the successor.
+
+        Simulation process.  This is the paper's "Master-key peer leaves the
+        system normally" path: all owned keys (including timestamp counters
+        and log entries) are pushed to the successor before departure.
+        """
+        if not self.alive:
+            return None
+        for service in self.services:
+            service.on_node_leaving()
+        successor = self.successors.head
+        owned = self.storage.owned_items()
+        replicas = self.storage.replica_items()
+        if successor is not None and successor != self.ref and (owned or replicas):
+            try:
+                if owned:
+                    yield self.rpc.call(
+                        successor.address,
+                        "receive_items",
+                        items=owned,
+                        as_replica=False,
+                        timeout=self.config.rpc_timeout,
+                    )
+                if replicas:
+                    # Keep the replication degree of our predecessors' data:
+                    # the successor inherits our role as their backup.
+                    yield self.rpc.call(
+                        successor.address,
+                        "receive_items",
+                        items=replicas,
+                        as_replica=True,
+                        timeout=self.config.rpc_timeout,
+                    )
+                if owned:
+                    for service in self.services:
+                        service.on_items_handed_off(owned, successor.name)
+            except _UNREACHABLE_ERRORS:
+                pass
+        # Link predecessor and successor to each other so stabilization
+        # converges faster than by timeout detection alone.
+        if successor is not None and self.predecessor is not None and successor != self.ref:
+            self.rpc.notify(successor.address, "notify", candidate=self.predecessor)
+            self.rpc.notify(
+                self.predecessor.address,
+                "successor_leaving",
+                leaving=self.ref,
+                replacement=successor,
+            )
+        self.alive = False
+        self.rpc.go_offline(crash=False)
+        return successor
+
+    def fail(self) -> None:
+        """Crash abruptly: no hand-off, no notifications (paper's failure case)."""
+        self.alive = False
+        self.rpc.go_offline(crash=True)
+
+    def restart(self) -> None:
+        """Re-register with the network after :meth:`fail` (same identity).
+
+        The node comes back empty-handed (volatile state lost) and must
+        re-join a ring explicitly.
+        """
+        self.rpc.go_online()
+
+    # ------------------------------------------------------------- lookups --
+
+    def find_successor(self, target_id: int):
+        """Locate the node responsible for ``target_id``.
+
+        Simulation process returning a ``{"node": NodeRef, "hops": int}``
+        mapping.  This is the client-side entry point; the recursive work is
+        done by the ``find_successor`` RPC handler.
+        """
+        if not self.alive:
+            raise NodeNotJoined(f"{self.address.name} is not part of a ring")
+        result = yield from self._find_successor_local(target_id, 0)
+        return result
+
+    def lookup(self, key: str):
+        """Find the node responsible for the string ``key`` (hashes then routes)."""
+        result = yield from self.find_successor(hash_to_id(key, self.config.bits))
+        return result
+
+    def put(self, key: str, value: Any, *, key_id: Optional[int] = None):
+        """Store ``value`` under ``key`` at the responsible node (process)."""
+        identifier = key_id if key_id is not None else hash_to_id(key, self.config.bits)
+        answer = yield from self.find_successor(identifier)
+        owner: NodeRef = answer["node"]
+        stored = yield self.rpc.call(
+            owner.address,
+            "store",
+            key=key,
+            value=value,
+            key_id=identifier,
+            timeout=self.config.rpc_timeout,
+        )
+        return {"owner": owner, "hops": answer["hops"], "stored": stored}
+
+    def get(self, key: str, *, key_id: Optional[int] = None):
+        """Fetch the value stored under ``key`` (process); raises KeyNotFound."""
+        identifier = key_id if key_id is not None else hash_to_id(key, self.config.bits)
+        answer = yield from self.find_successor(identifier)
+        owner: NodeRef = answer["node"]
+        value = yield self.rpc.call(
+            owner.address,
+            "fetch",
+            key=key,
+            timeout=self.config.rpc_timeout,
+        )
+        return {"owner": owner, "hops": answer["hops"], "value": value}
+
+    def remove(self, key: str, *, key_id: Optional[int] = None):
+        """Delete ``key`` from the responsible node (process)."""
+        identifier = key_id if key_id is not None else hash_to_id(key, self.config.bits)
+        answer = yield from self.find_successor(identifier)
+        owner: NodeRef = answer["node"]
+        removed = yield self.rpc.call(
+            owner.address,
+            "delete",
+            key=key,
+            timeout=self.config.rpc_timeout,
+        )
+        return {"owner": owner, "hops": answer["hops"], "removed": removed}
+
+    def _find_successor_local(self, target_id: int, hops: int):
+        """Shared routing logic used both locally and by the RPC handler."""
+        if hops > self.config.max_lookup_hops:
+            raise LookupFailed(
+                f"lookup of {target_id} exceeded {self.config.max_lookup_hops} hops"
+            )
+        successor = self.successors.head or self.ref
+        if successor == self.ref or in_interval_open_closed(
+            target_id, self.node_id, successor.node_id
+        ):
+            return {"node": successor, "hops": hops}
+
+        excluded: set[NodeRef] = set()
+        while True:
+            candidate = self.fingers.closest_preceding(target_id, exclude=excluded)
+            if candidate is None or candidate == self.ref:
+                candidate = self._first_live_successor_candidate(excluded)
+            if candidate is None:
+                raise LookupFailed(f"no route towards {target_id} from {self.address.name}")
+            try:
+                answer = yield self.rpc.call(
+                    candidate.address,
+                    "find_successor",
+                    target_id=target_id,
+                    hops=hops + 1,
+                    timeout=self.config.rpc_timeout,
+                )
+                return answer
+            except _UNREACHABLE_ERRORS:
+                excluded.add(candidate)
+                self.fingers.remove_node(candidate)
+                self.successors.remove(candidate)
+
+    def _first_live_successor_candidate(self, excluded: set[NodeRef]) -> Optional[NodeRef]:
+        for entry in self.successors.entries():
+            if entry not in excluded and entry != self.ref:
+                return entry
+        return None
+
+    # -------------------------------------------------------------- handlers --
+
+    def rpc_ping(self) -> bool:
+        """Liveness probe."""
+        return True
+
+    def rpc_find_successor(self, target_id: int, hops: int = 0):
+        """Recursive lookup handler (generator: may forward to other peers)."""
+        self.lookups_served += 1
+        result = yield from self._find_successor_local(target_id, hops)
+        return result
+
+    def rpc_get_predecessor(self) -> Optional[NodeRef]:
+        """Return the node's current predecessor (may be ``None``)."""
+        return self.predecessor
+
+    def rpc_get_successor_list(self) -> list[NodeRef]:
+        """Return the node's successor list, nearest first."""
+        return self.successors.entries()
+
+    def rpc_notify(self, candidate: NodeRef) -> None:
+        """Chord ``notify``: ``candidate`` believes it is our predecessor."""
+        if (
+            self.predecessor is None
+            or not self.network.is_up(self.predecessor.address)
+            or in_interval_open(candidate.node_id, self.predecessor.node_id, self.node_id)
+        ):
+            self.predecessor = candidate
+
+    def rpc_successor_leaving(self, leaving: NodeRef, replacement: NodeRef) -> None:
+        """A departing successor tells us to link to its own successor."""
+        if self.successors.head == leaving:
+            self.successors.remove(leaving)
+            if replacement != self.ref and replacement not in self.successors:
+                self.successors.replace([replacement] + self.successors.entries())
+            elif len(self.successors) == 0:
+                self.successors.replace([replacement])
+        self.fingers.remove_node(leaving)
+
+    def rpc_store(self, key: str, value: Any, key_id: Optional[int] = None,
+                  is_replica: bool = False) -> bool:
+        """Store an item locally and push replicas to the successors."""
+        item = self.storage.put(
+            key, value, is_replica=is_replica, now=self.sim.now, key_id=key_id
+        )
+        if not is_replica:
+            self._push_replicas([item])
+        return True
+
+    def rpc_fetch(self, key: str) -> Any:
+        """Return the locally stored value for ``key`` or raise KeyNotFound."""
+        item = self.storage.get(key)
+        if item is None:
+            raise KeyNotFound(key)
+        return item.value
+
+    def rpc_delete(self, key: str) -> bool:
+        """Delete ``key`` locally; returns whether it existed."""
+        return self.storage.remove(key)
+
+    def rpc_handoff_keys(self, requester: NodeRef) -> list[StoredItem]:
+        """Hand over the keys a joining predecessor is now responsible for.
+
+        The requester sits between our (old) predecessor and us, so it takes
+        every owned key outside our new responsibility interval
+        ``(requester, self]``.  We keep a replica copy because we are the
+        first successor of those keys.
+        """
+        start = self.predecessor.node_id if self.predecessor is not None else self.node_id
+        moving = self.storage.extract_interval(start, requester.node_id)
+        if not moving:
+            # Fall back to "everything outside (requester, self]" when the
+            # predecessor pointer is stale (e.g. it crashed silently).
+            moving = self.storage.extract_interval(self.node_id, requester.node_id)
+        if moving and self.config.replication_factor > 1:
+            self.storage.absorb(moving, as_replica=True, now=self.sim.now)
+        if moving:
+            for service in self.services:
+                service.on_items_handed_off(moving, requester.name)
+        return moving
+
+    def rpc_receive_items(self, items: list[StoredItem], as_replica: bool = False) -> int:
+        """Accept items pushed by another node (leave hand-off or replication)."""
+        return self._absorb_items(items, as_replica=as_replica)
+
+    # ----------------------------------------------------------- maintenance --
+
+    def _start_maintenance(self) -> None:
+        self.sim.process(self._stabilize_loop(), name=f"{self.address.name}.stabilize")
+        self.sim.process(self._fix_fingers_loop(), name=f"{self.address.name}.fix_fingers")
+        self.sim.process(
+            self._check_predecessor_loop(), name=f"{self.address.name}.check_pred"
+        )
+
+    def _stabilize_loop(self):
+        while self.alive:
+            yield self.sim.timeout(self.config.stabilize_interval)
+            if not self.alive:
+                break
+            yield from self._stabilize_once()
+
+    def _fix_fingers_loop(self):
+        while self.alive:
+            yield self.sim.timeout(self.config.fix_fingers_interval)
+            if not self.alive:
+                break
+            yield from self._fix_one_finger()
+
+    def _check_predecessor_loop(self):
+        while self.alive:
+            yield self.sim.timeout(self.config.check_predecessor_interval)
+            if not self.alive:
+                break
+            yield from self._check_predecessor_once()
+
+    def _stabilize_once(self):
+        successor = self.successors.head
+        if successor is None:
+            self.successors.replace([self.ref])
+            successor = self.ref
+        if successor == self.ref:
+            # Single-node ring (or temporarily islanded): adopt the
+            # predecessor as successor if one announced itself.
+            if self.predecessor is not None and self.predecessor != self.ref:
+                self.successors.replace([self.predecessor])
+            return
+
+        try:
+            their_predecessor = yield self.rpc.call(
+                successor.address,
+                "get_predecessor",
+                timeout=self.config.rpc_timeout,
+            )
+            if their_predecessor is not None and in_interval_open(
+                their_predecessor.node_id, self.node_id, successor.node_id
+            ):
+                if self.network.is_up(their_predecessor.address):
+                    successor = their_predecessor
+            their_list = yield self.rpc.call(
+                successor.address,
+                "get_successor_list",
+                timeout=self.config.rpc_timeout,
+            )
+            self.successors.adopt(successor, their_list)
+            self.rpc.notify(successor.address, "notify", candidate=self.ref)
+            self._refresh_replicas_if_targets_changed()
+        except _UNREACHABLE_ERRORS:
+            self._handle_successor_failure(successor)
+
+    def _handle_successor_failure(self, failed: NodeRef) -> None:
+        self.fingers.remove_node(failed)
+        self.successors.remove(failed)
+        if self.successors.head is None:
+            fallback = [ref for ref in self.fingers.known_nodes() if ref != failed]
+            if fallback:
+                self.successors.replace(fallback)
+            else:
+                self.successors.replace([self.ref])
+
+    def _fix_one_finger(self):
+        if self.successors.head is None or self.successors.head == self.ref:
+            self.fingers.fill_with(self.ref)
+            return
+        index = self._next_finger
+        self._next_finger = (self._next_finger + 1) % self.config.bits
+        target = self.fingers.start(index)
+        try:
+            answer = yield from self._find_successor_local(target, 0)
+        except LookupFailed:
+            return
+        self.fingers.update(index, answer["node"])
+
+    def _check_predecessor_once(self):
+        predecessor = self.predecessor
+        if predecessor is None or predecessor == self.ref:
+            return
+        try:
+            yield self.rpc.call(
+                predecessor.address,
+                "ping",
+                timeout=self.config.rpc_timeout,
+            )
+        except _UNREACHABLE_ERRORS:
+            self.predecessor = None
+            promoted = self.storage.promote_replicas(lambda item: True)
+            if promoted:
+                for service in self.services:
+                    service.on_replicas_promoted(promoted)
+
+    # ----------------------------------------------------------- replication --
+
+    def _refresh_replicas_if_targets_changed(self) -> None:
+        """Re-push replicas of owned items when the replica-holding successors change.
+
+        Write-time replication alone is not enough under churn: a successor
+        that held our replicas may leave or crash, or a new successor may
+        slot in between us and the old replica holder.  Refreshing on every
+        successor-list change keeps the paper's *-Succ* backups populated.
+        """
+        copies_needed = self.config.replication_factor - 1
+        if copies_needed <= 0:
+            return
+        targets = tuple(
+            entry for entry in self.successors.entries() if entry != self.ref
+        )[:copies_needed]
+        if targets == self._replica_targets:
+            return
+        self._replica_targets = targets
+        owned = self.storage.owned_items()
+        if owned and targets:
+            self._push_replicas(owned)
+
+    def _push_replicas(self, items: list[StoredItem]) -> None:
+        copies_needed = self.config.replication_factor - 1
+        if copies_needed <= 0 or not items:
+            return
+        targets = []
+        for entry in self.successors.entries():
+            if entry == self.ref:
+                continue
+            targets.append(entry)
+            if len(targets) >= copies_needed:
+                break
+        for target in targets:
+            self.rpc.notify(
+                target.address,
+                "receive_items",
+                items=[
+                    StoredItem(
+                        key=item.key,
+                        value=item.value,
+                        key_id=item.key_id,
+                        is_replica=True,
+                        version=item.version,
+                        stored_at=item.stored_at,
+                    )
+                    for item in items
+                ],
+                as_replica=True,
+            )
+
+    def _absorb_items(self, items: list[StoredItem], *, as_replica: bool) -> int:
+        absorbed = self.storage.absorb(items, as_replica=as_replica, now=self.sim.now)
+        if not as_replica:
+            # We just became the owner of these items (join hand-off or a
+            # departing predecessor's hand-over): immediately restore their
+            # replication degree at our own successors.
+            owned_now = [
+                stored for item in items
+                if (stored := self.storage.get(item.key)) is not None and not stored.is_replica
+            ]
+            self._push_replicas(owned_now)
+        for service in self.services:
+            service.on_items_received(items, as_replica=as_replica)
+        return absorbed
+
+    # ----------------------------------------------------------- diagnostics --
+
+    def responsibility_interval(self) -> tuple[int, int]:
+        """The ``(predecessor, self]`` interval this node currently owns."""
+        start = self.predecessor.node_id if self.predecessor is not None else self.node_id
+        return (start, self.node_id)
+
+    def is_responsible_for(self, key_id: int) -> bool:
+        """``True`` if ``key_id`` falls in this node's responsibility interval."""
+        start, end = self.responsibility_interval()
+        return in_interval_open_closed(key_id, start, end)
+
+    def summary(self) -> dict[str, Any]:
+        """A snapshot of the node's routing state for reports and debugging."""
+        return {
+            "name": self.address.name,
+            "id": self.node_id,
+            "alive": self.alive,
+            "successor": str(self.successors.head) if self.successors.head else None,
+            "predecessor": str(self.predecessor) if self.predecessor else None,
+            "successor_list": [str(entry) for entry in self.successors],
+            "stored_keys": len(self.storage),
+            "owned_keys": len(self.storage.owned_items()),
+            "lookups_served": self.lookups_served,
+        }

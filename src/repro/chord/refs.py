@@ -1,0 +1,29 @@
+"""Node references: the routing-table entries exchanged between peers.
+
+A :class:`NodeRef` is the pair *(address, identifier)* that Chord peers pass
+around in ``find_successor`` responses, successor lists and notify messages.
+It is immutable and hashable so it can live in sets, dictionaries and be
+embedded in simulated network messages without copying concerns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net import Address
+
+
+@dataclass(frozen=True, order=True)
+class NodeRef:
+    """Reference to a Chord node: its network address and ring identifier."""
+
+    node_id: int
+    address: Address
+
+    @property
+    def name(self) -> str:
+        """The peer's human-readable name (delegates to the address)."""
+        return self.address.name
+
+    def __str__(self) -> str:
+        return f"{self.address.name}#{self.node_id}"

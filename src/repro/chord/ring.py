@@ -1,0 +1,246 @@
+"""Ring orchestration: building, churning and inspecting a whole Chord DHT.
+
+:class:`ChordRing` is the experiment-facing wrapper around a set of
+:class:`~repro.chord.node.ChordNode` instances sharing one simulator and one
+network.  It offers synchronous driver methods (``bootstrap``, ``add_node``,
+``leave``, ``crash``, ``put``, ``get``) that advance the simulation until
+the requested operation has completed, which keeps tests, examples and
+benchmarks readable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from ..errors import DhtError, LookupFailed
+from ..net import Address, ConstantLatency, LatencyModel, Network
+from ..sim import Simulator
+from .config import ChordConfig
+from .hashing import hash_to_id
+from .node import ChordNode
+from .refs import NodeRef
+from .services import NodeService
+
+ServiceFactory = Callable[[Address], list[NodeService]]
+
+
+class ChordRing:
+    """A complete Chord DHT under simulation."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        network: Optional[Network] = None,
+        config: Optional[ChordConfig] = None,
+        *,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        service_factory: Optional[ServiceFactory] = None,
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator(seed=seed)
+        if network is not None:
+            self.network = network
+        else:
+            self.network = Network(
+                self.sim, latency=latency if latency is not None else ConstantLatency(0.005)
+            )
+        self.config = config if config is not None else ChordConfig()
+        self.service_factory = service_factory
+        self.nodes: dict[str, ChordNode] = {}
+
+    # ------------------------------------------------------------- creation --
+
+    def create_node(self, name: str, site: str = "default") -> ChordNode:
+        """Instantiate a node object (not yet part of the ring)."""
+        if name in self.nodes:
+            raise DhtError(f"a node named {name!r} already exists")
+        address = Address(name, site)
+        services = self.service_factory(address) if self.service_factory else []
+        node = ChordNode(self.sim, self.network, address, self.config, services=services)
+        self.nodes[name] = node
+        return node
+
+    def bootstrap(self, names: Iterable[str] | int, *, stabilize_time: Optional[float] = None) -> list[ChordNode]:
+        """Create a ring from scratch with the given node names (or a count).
+
+        The first node creates the ring; the others join through it one by
+        one.  The simulation is then run long enough for stabilization to
+        converge (or ``stabilize_time`` simulated seconds if given).
+        """
+        if isinstance(names, int):
+            names = [f"peer-{index}" for index in range(names)]
+        names = list(names)
+        if not names:
+            raise DhtError("bootstrap requires at least one node name")
+
+        first = self.create_node(names[0])
+        first.create()
+        bootstrap_address = first.address
+        for name in names[1:]:
+            node = self.create_node(name)
+            self.sim.run(until=self.sim.process(node.join(bootstrap_address)))
+        self.wait_until_stable(max_time=stabilize_time)
+        return [self.nodes[name] for name in names]
+
+    def add_node(self, name: str, *, via: Optional[str] = None, stabilize: bool = True) -> ChordNode:
+        """Add one node to a running ring and (optionally) wait for stability."""
+        live = self.live_nodes()
+        if not live:
+            node = self.create_node(name)
+            node.create()
+            return node
+        gateway = self.nodes[via] if via is not None else live[0]
+        node = self.create_node(name)
+        self.sim.run(until=self.sim.process(node.join(gateway.address)))
+        if stabilize:
+            self.wait_until_stable()
+        return node
+
+    # ---------------------------------------------------------------- churn --
+
+    def leave(self, name: str, *, stabilize: bool = True) -> None:
+        """Gracefully remove ``name`` from the ring."""
+        node = self._existing(name)
+        self.sim.run(until=self.sim.process(node.leave()))
+        if stabilize:
+            self.wait_until_stable()
+
+    def crash(self, name: str, *, stabilize: bool = True) -> None:
+        """Crash ``name`` without warning (failure scenario)."""
+        node = self._existing(name)
+        node.fail()
+        if stabilize:
+            self.wait_until_stable()
+
+    # ---------------------------------------------------------------- access --
+
+    def node(self, name: str) -> ChordNode:
+        """The node object registered under ``name``."""
+        return self._existing(name)
+
+    def live_nodes(self) -> list[ChordNode]:
+        """All nodes currently alive, sorted by ring identifier."""
+        return sorted(
+            (node for node in self.nodes.values() if node.alive),
+            key=lambda node: node.node_id,
+        )
+
+    def ring_order(self) -> list[str]:
+        """Names of live nodes in clockwise ring order."""
+        return [node.address.name for node in self.live_nodes()]
+
+    def gateway(self) -> ChordNode:
+        """An arbitrary live node usable as the entry point for requests."""
+        live = self.live_nodes()
+        if not live:
+            raise DhtError("no live nodes in the ring")
+        return live[0]
+
+    def responsible_node(self, key: str, salt: str = "") -> ChordNode:
+        """The live node that *should* own ``key`` according to identifiers.
+
+        Computed from global knowledge (all live node identifiers), so it is
+        the ground truth the routed lookups are compared against in tests.
+        """
+        identifier = hash_to_id(key, self.config.bits, salt=salt)
+        return self.responsible_node_for_id(identifier)
+
+    def responsible_node_for_id(self, identifier: int) -> ChordNode:
+        """Ground-truth responsible node for a raw identifier."""
+        live = self.live_nodes()
+        if not live:
+            raise DhtError("no live nodes in the ring")
+        for node in live:
+            if node.node_id >= identifier:
+                return node
+        return live[0]
+
+    # ------------------------------------------------------------ operations --
+
+    def put(self, key: str, value: Any, *, via: Optional[str] = None) -> dict[str, Any]:
+        """Store ``value`` under ``key`` through a gateway node (synchronous)."""
+        gateway = self.nodes[via] if via is not None else self.gateway()
+        return self.sim.run(until=self.sim.process(gateway.put(key, value)))
+
+    def get(self, key: str, *, via: Optional[str] = None) -> dict[str, Any]:
+        """Fetch ``key`` through a gateway node (synchronous)."""
+        gateway = self.nodes[via] if via is not None else self.gateway()
+        return self.sim.run(until=self.sim.process(gateway.get(key)))
+
+    def lookup(self, key: str, *, via: Optional[str] = None) -> dict[str, Any]:
+        """Resolve the node responsible for ``key`` through routed lookups."""
+        gateway = self.nodes[via] if via is not None else self.gateway()
+        return self.sim.run(until=self.sim.process(gateway.lookup(key)))
+
+    # ------------------------------------------------------------- stability --
+
+    def is_stable(self) -> bool:
+        """``True`` when successor/predecessor pointers match the ideal ring."""
+        live = self.live_nodes()
+        if not live:
+            return True
+        count = len(live)
+        for index, node in enumerate(live):
+            expected_successor = live[(index + 1) % count].ref
+            expected_predecessor = live[(index - 1) % count].ref
+            if node.successors.head != expected_successor:
+                return False
+            if count > 1 and node.predecessor != expected_predecessor:
+                return False
+        return True
+
+    def wait_until_stable(
+        self,
+        *,
+        max_time: Optional[float] = None,
+        check_interval: Optional[float] = None,
+    ) -> bool:
+        """Run the simulation until the ring stabilizes (or ``max_time`` elapses).
+
+        Returns ``True`` if stability was reached.  The default time budget
+        scales with the ring size and the stabilization interval so both
+        tiny test rings and the 256-peer benchmark rings converge.
+        """
+        interval = (
+            check_interval
+            if check_interval is not None
+            else self.config.stabilize_interval
+        )
+        budget = (
+            max_time
+            if max_time is not None
+            else max(30.0, 8.0 * self.config.stabilize_interval * max(len(self.nodes), 4))
+        )
+        deadline = self.sim.now + budget
+        while not self.is_stable():
+            if self.sim.now >= deadline:
+                return False
+            self.sim.run(until=min(self.sim.now + interval, deadline))
+        return True
+
+    def run_for(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` simulated seconds."""
+        self.sim.run(until=self.sim.now + duration)
+
+    # ------------------------------------------------------------ diagnostics --
+
+    def summary(self) -> list[dict[str, Any]]:
+        """Per-node routing snapshots (live nodes only), in ring order."""
+        return [node.summary() for node in self.live_nodes()]
+
+    def total_stored_items(self) -> int:
+        """Total number of stored items across live nodes (owned + replicas)."""
+        return sum(len(node.storage) for node in self.live_nodes())
+
+    def find_owner(self, key: str) -> Optional[NodeRef]:
+        """Routed lookup of ``key``'s owner; ``None`` if the lookup fails."""
+        try:
+            return self.lookup(key)["node"]
+        except (LookupFailed, DhtError):
+            return None
+
+    def _existing(self, name: str) -> ChordNode:
+        node = self.nodes.get(name)
+        if node is None:
+            raise DhtError(f"unknown node {name!r}")
+        return node

@@ -1,0 +1,57 @@
+"""Service plug-in interface for Chord nodes.
+
+The P2P-LTR roles (Master-key peer, Log-Peer, timestamp counter holder) are
+not separate machines: they are responsibilities taken on by whichever DHT
+node is currently the successor of a key.  To model that cleanly, a Chord
+node hosts a list of :class:`NodeService` instances.  A service can expose
+extra RPC methods and reacts to ownership changes (key transfer on join and
+leave, replica promotion after a predecessor failure) — exactly the hooks
+the P2P-LTR succession procedures need.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from .storage import StoredItem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import ChordNode
+
+
+class NodeService:
+    """Base class for per-node application services.
+
+    Subclasses override the hooks they care about; all hooks default to
+    no-ops so services stay small.
+    """
+
+    #: Short identifier used in traces and diagnostics.
+    name = "service"
+
+    def __init__(self) -> None:
+        self.node: "ChordNode | None" = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def attach(self, node: "ChordNode") -> None:
+        """Bind the service to its hosting node and register RPC handlers."""
+        self.node = node
+        self.register_handlers(node)
+
+    def register_handlers(self, node: "ChordNode") -> None:
+        """Expose the service's RPC methods on the node's agent (override)."""
+
+    # -- ownership hooks ------------------------------------------------------
+
+    def on_items_received(self, items: Iterable[StoredItem], *, as_replica: bool) -> None:
+        """Called when keys are transferred into this node (join/leave hand-off)."""
+
+    def on_items_handed_off(self, items: Iterable[StoredItem], successor_name: str) -> None:
+        """Called when this node hands keys over to another node."""
+
+    def on_replicas_promoted(self, items: Iterable[StoredItem]) -> None:
+        """Called when replicas become owned after a predecessor failure."""
+
+    def on_node_leaving(self) -> None:
+        """Called just before the hosting node leaves the ring gracefully."""

@@ -1,0 +1,167 @@
+"""Per-node key/value storage with ownership tracking.
+
+Every Chord node stores the data it is *responsible* for (keys hashing into
+``(predecessor, self]``) plus replicas it holds on behalf of its
+predecessors.  The store keeps both under the same namespace but tags each
+entry, because key transfer on join/leave only moves owned entries while
+failure recovery promotes replicas to owned entries.
+
+Values are opaque to this layer; P2P-LTR stores patch payloads and
+timestamp counters in it through higher-level services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from .hashing import hash_to_id
+from .idspace import in_interval_open_closed
+
+
+@dataclass
+class StoredItem:
+    """A single stored entry and its bookkeeping metadata."""
+
+    key: str
+    value: Any
+    key_id: int
+    is_replica: bool = False
+    version: int = 0
+    stored_at: float = 0.0
+
+
+class NodeStorage:
+    """Key/value storage local to one Chord node."""
+
+    def __init__(self, bits: int) -> None:
+        self.bits = bits
+        self._items: dict[str, StoredItem] = {}
+
+    # -- basic operations -----------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        value: Any,
+        *,
+        is_replica: bool = False,
+        now: float = 0.0,
+        key_id: Optional[int] = None,
+    ) -> StoredItem:
+        """Insert or overwrite ``key``; returns the stored item."""
+        identifier = key_id if key_id is not None else hash_to_id(key, self.bits)
+        existing = self._items.get(key)
+        version = existing.version + 1 if existing is not None else 1
+        item = StoredItem(
+            key=key,
+            value=value,
+            key_id=identifier,
+            is_replica=is_replica,
+            version=version,
+            stored_at=now,
+        )
+        self._items[key] = item
+        return item
+
+    def get(self, key: str) -> Optional[StoredItem]:
+        """The stored item for ``key``, or ``None``."""
+        return self._items.get(key)
+
+    def value(self, key: str, default: Any = None) -> Any:
+        """The stored value for ``key``, or ``default``."""
+        item = self._items.get(key)
+        return default if item is None else item.value
+
+    def remove(self, key: str) -> bool:
+        """Delete ``key``; returns ``True`` if it existed."""
+        return self._items.pop(key, None) is not None
+
+    def update(self, key: str, updater: Callable[[Any], Any], default: Any = None,
+               now: float = 0.0) -> StoredItem:
+        """Read-modify-write helper: ``value = updater(current or default)``."""
+        current = self.value(key, default)
+        item = self._items.get(key)
+        is_replica = item.is_replica if item is not None else False
+        return self.put(key, updater(current), is_replica=is_replica, now=now)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[StoredItem]:
+        return iter(self._items.values())
+
+    def keys(self) -> list[str]:
+        """All stored keys (owned and replicas)."""
+        return list(self._items)
+
+    # -- ownership ---------------------------------------------------------------
+
+    def owned_items(self) -> list[StoredItem]:
+        """Items this node is responsible for (not replicas)."""
+        return [item for item in self._items.values() if not item.is_replica]
+
+    def replica_items(self) -> list[StoredItem]:
+        """Items held only as replicas for other nodes."""
+        return [item for item in self._items.values() if item.is_replica]
+
+    def promote_replicas(self, predicate: Callable[[StoredItem], bool]) -> list[StoredItem]:
+        """Turn matching replicas into owned items (failure takeover).
+
+        Returns the promoted items.
+        """
+        promoted = []
+        for item in self._items.values():
+            if item.is_replica and predicate(item):
+                item.is_replica = False
+                promoted.append(item)
+        return promoted
+
+    def items_in_interval(self, start_exclusive: int, end_inclusive: int,
+                          *, include_replicas: bool = False) -> list[StoredItem]:
+        """Items whose key identifier falls in ``(start, end]`` on the ring."""
+        selected = []
+        for item in self._items.values():
+            if not include_replicas and item.is_replica:
+                continue
+            if in_interval_open_closed(item.key_id, start_exclusive, end_inclusive):
+                selected.append(item)
+        return selected
+
+    def extract_interval(self, start_exclusive: int, end_inclusive: int) -> list[StoredItem]:
+        """Remove and return owned items in ``(start, end]`` (key hand-off)."""
+        moving = self.items_in_interval(start_exclusive, end_inclusive)
+        for item in moving:
+            del self._items[item.key]
+        return moving
+
+    def absorb(self, items: list[StoredItem], *, as_replica: bool = False, now: float = 0.0) -> int:
+        """Insert items received from another node; returns how many were newer.
+
+        An incoming item only overwrites an existing entry if its version is
+        strictly greater, so replaying a transfer is idempotent.
+        """
+        absorbed = 0
+        for incoming in items:
+            existing = self._items.get(incoming.key)
+            if existing is not None and existing.version >= incoming.version:
+                if existing.is_replica and not as_replica:
+                    existing.is_replica = False
+                continue
+            self._items[incoming.key] = StoredItem(
+                key=incoming.key,
+                value=incoming.value,
+                key_id=incoming.key_id,
+                is_replica=as_replica,
+                version=incoming.version,
+                stored_at=now,
+            )
+            absorbed += 1
+        return absorbed
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain mapping of key to value (for assertions and reports)."""
+        return {key: item.value for key, item in self._items.items()}

@@ -1,0 +1,62 @@
+"""Configuration of the P2P-LTR protocol layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LtrConfig:
+    """Tunable parameters of P2P-LTR.
+
+    Attributes
+    ----------
+    log_replication_factor:
+        ``n = |Hr|`` — how many independent Log-Peer placements each
+        timestamped patch gets (paper Section 2).
+    max_validation_attempts:
+        Upper bound on the validate → retrieve → retry loop of the user
+        peer.  The paper loops "until last-ts value is equal to ts value";
+        the bound only exists to turn a livelock into a diagnosable error.
+    validation_retries:
+        How many times a single validation RPC is re-routed when the
+        Master-key peer is unreachable (crash/churn window).
+    validation_retry_delay:
+        Delay between those re-routing attempts, in simulated seconds.  It
+        should be of the order of the DHT stabilization interval so a
+        retried request reaches the new Master-key peer.
+    publish_before_ack:
+        When ``True`` (paper behaviour) the Master-key peer replicates the
+        patch in the P2P-Log before acknowledging the user peer.
+    parallel_retrieval:
+        When ``True``, user peers fetch all missing patches of a retrieval
+        round concurrently instead of one timestamp at a time (the ablation
+        discussed in ``DESIGN.md`` §6); the integration order is unchanged.
+    """
+
+    log_replication_factor: int = 3
+    max_validation_attempts: int = 64
+    validation_retries: int = 8
+    validation_retry_delay: float = 0.5
+    publish_before_ack: bool = True
+    parallel_retrieval: bool = False
+
+    def __post_init__(self) -> None:
+        if self.log_replication_factor < 1:
+            raise ConfigurationError(
+                f"log_replication_factor must be >= 1, got {self.log_replication_factor}"
+            )
+        if self.max_validation_attempts < 1:
+            raise ConfigurationError(
+                f"max_validation_attempts must be >= 1, got {self.max_validation_attempts}"
+            )
+        if self.validation_retries < 0:
+            raise ConfigurationError(
+                f"validation_retries must be >= 0, got {self.validation_retries}"
+            )
+        if self.validation_retry_delay < 0:
+            raise ConfigurationError(
+                f"validation_retry_delay must be >= 0, got {self.validation_retry_delay}"
+            )

@@ -1,0 +1,158 @@
+"""The Master-key peer: patch timestamp validation and publication.
+
+Every DHT node hosts a :class:`MasterService`; the node acts as Master-key
+peer for the documents whose ``ht(key)`` falls into its responsibility
+interval.  The service implements the heart of P2P-LTR (Section 3 of the
+paper):
+
+* ``ltr_validate_and_publish`` — the patch timestamp validation procedure.
+  If the proposed timestamp equals ``last-ts + 1`` the Master publishes the
+  patch at the Log-Peers (``sendToPublish``), advances ``last-ts`` through
+  the timestamp authority (which also replicates it to the Master-key-Succ)
+  and acknowledges the user peer with the validated timestamp.  Otherwise it
+  answers ``behind`` with the current ``last-ts`` so the user peer runs the
+  retrieval procedure first.
+* Per-document serialization — concurrent validation requests for the same
+  document are served strictly one after the other, "a new timestamp for a
+  given document d is provided after the replication of the previous
+  timestamped patch on d".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..chord import HashFunctionFamily, NodeService
+from ..dht import ChordDhtClient
+from ..kts import TimestampAuthority
+from ..p2plog import LogEntry, P2PLogClient
+from ..sim import FifoLock
+from .config import LtrConfig
+from .protocol import ValidationResult
+
+
+class MasterService(NodeService):
+    """Per-node implementation of the Master-key peer role."""
+
+    name = "ltr-master"
+
+    def __init__(self, config: Optional[LtrConfig] = None,
+                 hash_family: Optional[HashFunctionFamily] = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else LtrConfig()
+        self._hash_family = hash_family
+        self.log: Optional[P2PLogClient] = None
+        self.authority: Optional[TimestampAuthority] = None
+        self._locks: dict[str, FifoLock] = {}
+        self.validations_ok = 0
+        self.validations_behind = 0
+        self.patches_published = 0
+
+    # -- NodeService wiring ------------------------------------------------------
+
+    def register_handlers(self, node) -> None:  # noqa: D401 - see base class
+        if self._hash_family is None:
+            self._hash_family = HashFunctionFamily.create(
+                self.config.log_replication_factor, bits=node.config.bits
+            )
+        self.log = P2PLogClient(ChordDhtClient(node), self._hash_family)
+        node.rpc.expose("ltr_validate_and_publish", self.validate_and_publish)
+        node.rpc.expose("ltr_last_ts", self.handle_last_ts)
+
+    @property
+    def hash_family(self) -> HashFunctionFamily:
+        """The replication hash family ``Hr`` used for log placement."""
+        if self._hash_family is None:
+            raise RuntimeError("MasterService used before being attached to a node")
+        return self._hash_family
+
+    def _authority(self) -> TimestampAuthority:
+        if self.authority is None:
+            service = self.node.service("kts") if self.node is not None else None
+            if service is None:
+                raise RuntimeError(
+                    "MasterService requires a TimestampAuthority ('kts') service "
+                    "on the same node"
+                )
+            self.authority = service
+        return self.authority
+
+    def _lock_for(self, key: str) -> FifoLock:
+        lock = self._locks.get(key)
+        if lock is None:
+            lock = FifoLock(self.node.sim)
+            self._locks[key] = lock
+        return lock
+
+    # -- RPC handlers ---------------------------------------------------------------
+
+    def handle_last_ts(self, key: str) -> int:
+        """Return ``last-ts`` for ``key`` (0 when no patch was ever validated)."""
+        return self._authority().last_ts(key)
+
+    def validate_and_publish(self, key: str, ts: int, patch: Any, author: str = "unknown",
+                             base_ts: Optional[int] = None):
+        """Validate a tentative patch timestamp and publish the patch.
+
+        Generator RPC handler (it performs DHT puts while publishing).
+        Returns a :class:`~repro.core.protocol.ValidationResult` payload.
+        """
+        node = self.node
+        authority = self._authority()
+        lock = self._lock_for(key)
+        yield from lock.acquire()
+        try:
+            last_ts = authority.last_ts(key)
+            if ts != last_ts + 1:
+                self.validations_behind += 1
+                node.sim.trace.annotate(
+                    node.sim.now,
+                    "ltr-master",
+                    f"{node.address.name} rejects {key}@{ts} from {author} "
+                    f"(last-ts={last_ts})",
+                )
+                return ValidationResult.behind(last_ts).to_payload()
+
+            entry = LogEntry(
+                document_key=key,
+                ts=ts,
+                patch=patch,
+                author=author,
+                published_at=node.sim.now,
+                base_ts=base_ts,
+            )
+            replicas = 0
+            if self.config.publish_before_ack:
+                replicas = yield from self.log.publish(entry)
+            validated_ts = authority.gen_ts(key)
+            if not self.config.publish_before_ack:
+                replicas = yield from self.log.publish(entry)
+            self.validations_ok += 1
+            self.patches_published += 1
+            node.sim.trace.annotate(
+                node.sim.now,
+                "ltr-master",
+                f"{node.address.name} validated {key}@{validated_ts} from {author} "
+                f"({replicas} log replicas)",
+            )
+            return ValidationResult.ok(validated_ts, replicas).to_payload()
+        finally:
+            lock.release()
+
+    # -- diagnostics ------------------------------------------------------------------
+
+    def keys_mastered(self) -> dict[str, int]:
+        """Documents this node currently is the Master-key peer for."""
+        return self._authority().managed_keys()
+
+    def statistics(self) -> dict[str, Any]:
+        """Counters for the experiment reports."""
+        stats = {
+            "validations_ok": self.validations_ok,
+            "validations_behind": self.validations_behind,
+            "patches_published": self.patches_published,
+            "keys_mastered": len(self.keys_mastered()) if self.node is not None else 0,
+        }
+        if self.log is not None:
+            stats["log"] = self.log.statistics()
+        return stats

@@ -1,0 +1,98 @@
+"""Result types exchanged by the P2P-LTR procedures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+#: Validation statuses returned by the Master-key peer.
+STATUS_OK = "ok"
+STATUS_BEHIND = "behind"
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Answer of the Master-key peer to a patch validation request."""
+
+    status: str
+    ts: Optional[int] = None
+    last_ts: Optional[int] = None
+    replicas: int = 0
+
+    @property
+    def accepted(self) -> bool:
+        """``True`` when the patch was validated and published."""
+        return self.status == STATUS_OK
+
+    @classmethod
+    def ok(cls, ts: int, replicas: int) -> "ValidationResult":
+        """The Master accepted the proposed timestamp and published the patch."""
+        return cls(status=STATUS_OK, ts=ts, replicas=replicas)
+
+    @classmethod
+    def behind(cls, last_ts: int) -> "ValidationResult":
+        """The proposer is behind; it must retrieve patches up to ``last_ts``."""
+        return cls(status=STATUS_BEHIND, last_ts=last_ts)
+
+    def to_payload(self) -> dict:
+        """Serialise for transmission over the (simulated) network."""
+        return {
+            "status": self.status,
+            "ts": self.ts,
+            "last_ts": self.last_ts,
+            "replicas": self.replicas,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ValidationResult":
+        """Rebuild from a network payload."""
+        return cls(
+            status=payload["status"],
+            ts=payload.get("ts"),
+            last_ts=payload.get("last_ts"),
+            replicas=payload.get("replicas", 0),
+        )
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """Outcome of a user peer's edit-commit (procedures 2 and 3 of the paper)."""
+
+    document_key: str
+    ts: int
+    attempts: int
+    retrieved_patches: int
+    started_at: float
+    finished_at: float
+    author: str = "unknown"
+    log_replicas: int = 0
+
+    @property
+    def latency(self) -> float:
+        """Wall-clock (simulated) duration of the whole commit."""
+        return self.finished_at - self.started_at
+
+    @property
+    def had_conflicts(self) -> bool:
+        """``True`` when concurrent updates forced at least one retrieval round."""
+        return self.retrieved_patches > 0
+
+
+@dataclass
+class SyncResult:
+    """Outcome of a read-only synchronisation (retrieval procedure alone)."""
+
+    document_key: str
+    from_ts: int
+    to_ts: int
+    retrieved_patches: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    already_current: bool = False
+    details: dict = field(default_factory=dict)
+
+    @property
+    def latency(self) -> float:
+        """Wall-clock (simulated) duration of the synchronisation."""
+        return self.finished_at - self.started_at

@@ -1,0 +1,239 @@
+"""System wiring: a complete P2P-LTR deployment under simulation.
+
+:class:`LtrSystem` assembles everything the paper's prototype assembles —
+the Chord DHT, the timestamp authorities, the Master-key services, the
+P2P-Log and the user peers — behind a synchronous driver API that tests,
+examples and benchmarks use to script scenarios ("issue several
+simultaneous updates coming from different peers", "provoke failures",
+"add/remove peers to/from the system").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ..chord import ChordConfig, ChordRing, HashFunctionFamily, timestamp_hash
+from ..dht import ChordDhtClient
+from ..errors import DhtError
+from ..kts import TimestampAuthority
+from ..net import Address, ConstantLatency, LatencyModel, Network
+from ..p2plog import P2PLogClient
+from ..sim import Simulator
+from .config import LtrConfig
+from .consistency import ConsistencyReport, build_report, verify_log_continuity
+from .master import MasterService
+from .protocol import CommitResult
+from .user_peer import UserPeer
+
+#: Chord parameters sized for interactive experiments (small rings, fast churn).
+DEFAULT_CHORD_CONFIG = ChordConfig(
+    bits=32,
+    successor_list_size=4,
+    replication_factor=2,
+    stabilize_interval=0.25,
+    fix_fingers_interval=0.5,
+    check_predecessor_interval=0.5,
+)
+
+
+class LtrSystem:
+    """A running P2P-LTR system: DHT ring + services + user peers."""
+
+    def __init__(
+        self,
+        *,
+        ltr_config: Optional[LtrConfig] = None,
+        chord_config: Optional[ChordConfig] = None,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        sim: Optional[Simulator] = None,
+        network: Optional[Network] = None,
+        trace: bool = False,
+    ) -> None:
+        self.ltr_config = ltr_config if ltr_config is not None else LtrConfig()
+        self.chord_config = chord_config if chord_config is not None else DEFAULT_CHORD_CONFIG
+        self.sim = sim if sim is not None else Simulator(seed=seed, trace=trace)
+        self.network = network if network is not None else Network(
+            self.sim, latency=latency if latency is not None else ConstantLatency(0.005)
+        )
+        self.hash_family = HashFunctionFamily.create(
+            self.ltr_config.log_replication_factor, bits=self.chord_config.bits
+        )
+        self.ht = timestamp_hash(self.chord_config.bits)
+        self.ring = ChordRing(
+            sim=self.sim,
+            network=self.network,
+            config=self.chord_config,
+            service_factory=self._make_services,
+        )
+        self._users: dict[str, UserPeer] = {}
+
+    def _make_services(self, address: Address):
+        return [
+            TimestampAuthority(),
+            MasterService(self.ltr_config, hash_family=self.hash_family),
+        ]
+
+    # -------------------------------------------------------------- membership --
+
+    def bootstrap(self, peers: Iterable[str] | int) -> list[str]:
+        """Create the DHT ring with the given peers (names or a count)."""
+        nodes = self.ring.bootstrap(peers)
+        return [node.address.name for node in nodes]
+
+    def peer_names(self) -> list[str]:
+        """Names of all currently live peers, in ring order."""
+        return self.ring.ring_order()
+
+    def add_peer(self, name: str) -> str:
+        """A new peer joins the running system (scenario E4)."""
+        self.ring.add_node(name)
+        return name
+
+    def leave(self, name: str) -> None:
+        """A peer leaves gracefully (scenario E3, normal departure)."""
+        self._users.pop(name, None)
+        self.ring.leave(name)
+
+    def crash(self, name: str) -> None:
+        """A peer fails abruptly (scenario E3, failure case)."""
+        self._users.pop(name, None)
+        self.ring.crash(name)
+        self.ring.wait_until_stable(max_time=120)
+
+    def run_for(self, duration: float) -> None:
+        """Advance simulated time (lets maintenance and replication settle)."""
+        self.ring.run_for(duration)
+
+    # -------------------------------------------------------------------- users --
+
+    def user(self, name: str) -> UserPeer:
+        """The user application running on peer ``name`` (created on demand)."""
+        peer = self._users.get(name)
+        if peer is None:
+            node = self.ring.node(name)
+            if not node.alive:
+                raise DhtError(f"peer {name!r} is not alive")
+            peer = UserPeer(node, self.ltr_config, hash_family=self.hash_family)
+            self._users[name] = peer
+        return peer
+
+    def users(self) -> list[UserPeer]:
+        """All user peers instantiated so far."""
+        return list(self._users.values())
+
+    # ----------------------------------------------------------- editing drivers --
+
+    def edit(self, peer: str, key: str, text: str, *, comment: str = "") -> None:
+        """Edit the working copy of ``key`` at ``peer`` (no network activity)."""
+        self.user(peer).edit(key, text, comment=comment)
+
+    def commit(self, peer: str, key: str) -> Optional[CommitResult]:
+        """Run the validation/publication procedure for ``peer``'s pending patch."""
+        return self.sim.run(until=self.sim.process(self.user(peer).commit(key)))
+
+    def edit_and_commit(self, peer: str, key: str, text: str,
+                        *, comment: str = "") -> Optional[CommitResult]:
+        """Convenience: edit then commit in one call."""
+        self.edit(peer, key, text, comment=comment)
+        return self.commit(peer, key)
+
+    def sync(self, peer: str, key: str):
+        """Bring ``peer``'s replica of ``key`` up to date."""
+        return self.sim.run(until=self.sim.process(self.user(peer).sync(key)))
+
+    def sync_all(self, key: str, peers: Optional[Iterable[str]] = None) -> None:
+        """Synchronise every given peer (default: all instantiated users)."""
+        names = list(peers) if peers is not None else [user.author for user in self.users()]
+        for name in names:
+            if name in self.ring.nodes and self.ring.node(name).alive:
+                self.sync(name, key)
+
+    def run_concurrent_commits(
+        self, edits: Iterable[tuple[str, str, str]]
+    ) -> list[CommitResult]:
+        """Issue simultaneous updates from different peers (scenario E2).
+
+        ``edits`` is a sequence of ``(peer, key, text)``.  All edits are
+        registered first, then every commit starts at the same simulated
+        instant; the call returns when all of them have completed.
+        """
+        staged = []
+        for peer, key, text in edits:
+            self.edit(peer, key, text)
+            staged.append((peer, key))
+        processes = [
+            self.sim.process(self.user(peer).commit(key), name=f"commit:{peer}:{key}")
+            for peer, key in staged
+        ]
+        results: list[CommitResult] = []
+        for process in processes:
+            outcome = self.sim.run(until=process)
+            if outcome is not None:
+                results.append(outcome)
+        return results
+
+    # --------------------------------------------------------------- inspection --
+
+    def master_of(self, key: str) -> str:
+        """Name of the peer currently acting as Master-key peer for ``key``."""
+        return self.ring.responsible_node_for_id(self.ht(key)).address.name
+
+    def master_service(self, key: str) -> MasterService:
+        """The :class:`MasterService` instance currently responsible for ``key``."""
+        node = self.ring.responsible_node_for_id(self.ht(key))
+        service = node.service("ltr-master")
+        assert isinstance(service, MasterService)
+        return service
+
+    def last_ts(self, key: str) -> int:
+        """Current ``last-ts`` of ``key`` according to its Master-key peer."""
+        return self.master_service(key).handle_last_ts(key)
+
+    def log_client(self, via: Optional[str] = None) -> P2PLogClient:
+        """A P2P-Log client bound to ``via`` (or an arbitrary live peer)."""
+        node = self.ring.node(via) if via is not None else self.ring.gateway()
+        return P2PLogClient(ChordDhtClient(node), self.hash_family)
+
+    def fetch_log(self, key: str, from_ts: int, to_ts: int):
+        """Retrieve log entries ``from_ts .. to_ts`` (synchronous driver)."""
+        client = self.log_client()
+        return self.sim.run(until=self.sim.process(client.fetch_range(key, from_ts, to_ts)))
+
+    # -------------------------------------------------------------- consistency --
+
+    def check_consistency(self, key: str, *, sync_first: bool = True) -> ConsistencyReport:
+        """Verify eventual consistency of ``key`` across all user replicas.
+
+        When ``sync_first`` is true every live user peer first runs the
+        retrieval procedure (that is what "eventual" means: consistency
+        holds once every peer has integrated all validated patches).
+        """
+        if sync_first:
+            self.sync_all(key)
+        last_ts = self.last_ts(key)
+        client = self.log_client()
+        entries = self.sim.run(
+            until=self.sim.process(verify_log_continuity(client, key, last_ts))
+        )
+        replicas = [
+            user.document(key)
+            for user in self.users()
+            if key in user.documents and self.ring.node(user.node.address.name).alive
+        ]
+        return build_report(key, last_ts, entries, replicas)
+
+    def statistics(self) -> dict[str, Any]:
+        """Aggregate statistics over the whole system (for reports)."""
+        master_stats = [
+            node.service("ltr-master").statistics()
+            for node in self.ring.live_nodes()
+            if node.service("ltr-master") is not None
+        ]
+        return {
+            "peers": len(self.ring.live_nodes()),
+            "network": self.network.stats.snapshot(),
+            "validations_ok": sum(stats["validations_ok"] for stats in master_stats),
+            "validations_behind": sum(stats["validations_behind"] for stats in master_stats),
+            "users": [user.statistics() for user in self.users()],
+        }

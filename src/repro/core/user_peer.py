@@ -1,0 +1,294 @@
+"""The user peer: local editing, timestamp validation and reconciliation.
+
+A :class:`UserPeer` is the application side of a P2P-LTR peer (the paper's
+*User Peer* running e.g. the XWiki application).  It keeps local primary
+copies of documents, captures tentative patches on save, and runs the three
+P2P-LTR procedures:
+
+1. *Edit a page locally* — :meth:`UserPeer.edit` (produces a tentative
+   patch against the last validated state).
+2. *Validate the tentative patch timestamp value and retrieve patches if
+   necessary* — the loop inside :meth:`UserPeer.commit`.
+3. *Replicate the new patch at the P2P-Log* — performed by the Master-key
+   peer during validation; the user peer only applies the patch locally once
+   the Master has acknowledged the validated timestamp.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from ..chord import ChordNode, HashFunctionFamily, timestamp_hash
+from ..dht import ChordDhtClient
+from ..errors import (
+    MasterUnavailable,
+    NodeUnreachable,
+    RequestTimeout,
+    ValidationFailed,
+)
+from ..ot import Document, Patch, integrate_remote_patches, make_patch
+from ..p2plog import P2PLogClient
+from .config import LtrConfig
+from .protocol import CommitResult, SyncResult, ValidationResult
+
+_ROUTING_ERRORS = (RequestTimeout, NodeUnreachable)
+
+
+class UserPeer:
+    """A collaborating user working on local replicas of shared documents."""
+
+    def __init__(
+        self,
+        node: ChordNode,
+        config: Optional[LtrConfig] = None,
+        *,
+        author: Optional[str] = None,
+        hash_family: Optional[HashFunctionFamily] = None,
+    ) -> None:
+        self.node = node
+        self.config = config if config is not None else LtrConfig()
+        self.author = author if author is not None else node.address.name
+        self.dht = ChordDhtClient(node)
+        self.ht = timestamp_hash(node.config.bits)
+        if hash_family is None:
+            hash_family = HashFunctionFamily.create(
+                self.config.log_replication_factor, bits=node.config.bits
+            )
+        self.log = P2PLogClient(self.dht, hash_family)
+        self.documents: dict[str, Document] = {}
+        self.pending: dict[str, Patch] = {}
+        self.commit_results: list[CommitResult] = []
+        self.sync_results: list[SyncResult] = []
+
+    # ------------------------------------------------------------ local copies --
+
+    def document(self, key: str) -> Document:
+        """The local replica of ``key`` (created empty on first access)."""
+        replica = self.documents.get(key)
+        if replica is None:
+            replica = Document(key=key)
+            self.documents[key] = replica
+        return replica
+
+    def has_pending(self, key: str) -> bool:
+        """``True`` when there are local edits not yet validated."""
+        patch = self.pending.get(key)
+        return patch is not None and len(patch) > 0
+
+    def working_lines(self, key: str) -> list[str]:
+        """The document as the user sees it: validated state plus pending edits."""
+        replica = self.document(key)
+        patch = self.pending.get(key)
+        if patch is None:
+            return list(replica.lines)
+        return patch.apply(replica.lines)
+
+    def working_text(self, key: str) -> str:
+        """:meth:`working_lines` joined with newlines."""
+        return "\n".join(self.working_lines(key))
+
+    # ------------------------------------------------------------------- editing --
+
+    def edit(self, key: str, new_text: str, *, comment: str = "") -> Patch:
+        """Replace the working copy of ``key`` with ``new_text`` (procedure 1).
+
+        The difference between the current working copy and ``new_text`` is
+        captured as a tentative patch; successive edits before a commit are
+        composed into a single pending patch, mirroring "updates are wrapped
+        together in the form of a patch after each document save operation".
+        """
+        new_lines = new_text.split("\n") if new_text else []
+        return self.edit_lines(key, lambda _current: new_lines, comment=comment)
+
+    def edit_lines(
+        self,
+        key: str,
+        mutate: Callable[[list[str]], Sequence[str]],
+        *,
+        comment: str = "",
+    ) -> Patch:
+        """Apply ``mutate`` to the working copy and record the tentative patch."""
+        replica = self.document(key)
+        before = self.working_lines(key)
+        after = list(mutate(list(before)))
+        increment = make_patch(before, after, base_ts=replica.applied_ts,
+                               author=self.author, comment=comment)
+        existing = self.pending.get(key)
+        if existing is None:
+            self.pending[key] = increment
+        else:
+            self.pending[key] = existing.compose(increment)
+        return self.pending[key]
+
+    def discard_pending(self, key: str) -> None:
+        """Drop local tentative edits of ``key`` without publishing them."""
+        self.pending.pop(key, None)
+
+    # --------------------------------------------------------------------- commit --
+
+    def commit(self, key: str):
+        """Validate and publish the pending patch of ``key`` (procedures 2 + 3).
+
+        Simulation process returning a
+        :class:`~repro.core.protocol.CommitResult`, or ``None`` when there
+        was nothing to commit.  The loop matches the paper: propose
+        ``ts = applied_ts + 1``; if the Master-key peer answers *behind*,
+        retrieve the missing patches from the P2P-Log in continuous order,
+        integrate them (transforming the pending patch) and retry until the
+        proposal is accepted.
+        """
+        started_at = self.node.sim.now
+        replica = self.document(key)
+        pending = self.pending.pop(key, None)
+        if pending is None:
+            return None
+
+        attempts = 0
+        retrieved_total = 0
+        while True:
+            attempts += 1
+            if attempts > self.config.max_validation_attempts:
+                self.pending[key] = pending
+                raise ValidationFailed(
+                    f"{self.author} could not validate a patch for {key!r} after "
+                    f"{attempts - 1} attempts"
+                )
+            proposal_ts = replica.applied_ts + 1
+            try:
+                payload = yield from self._call_master(
+                    key,
+                    "ltr_validate_and_publish",
+                    ts=proposal_ts,
+                    patch=pending,
+                    author=self.author,
+                    base_ts=replica.applied_ts,
+                )
+            except MasterUnavailable:
+                self.pending[key] = pending
+                raise
+            result = ValidationResult.from_payload(payload)
+
+            if result.accepted:
+                replica.apply_patch(pending, ts=result.ts)
+                commit = CommitResult(
+                    document_key=key,
+                    ts=result.ts,
+                    attempts=attempts,
+                    retrieved_patches=retrieved_total,
+                    started_at=started_at,
+                    finished_at=self.node.sim.now,
+                    author=self.author,
+                    log_replicas=result.replicas,
+                )
+                self.commit_results.append(commit)
+                self.node.sim.trace.annotate(
+                    self.node.sim.now,
+                    "ltr-user",
+                    f"{self.author} committed {key}@{result.ts} "
+                    f"after {attempts} attempt(s)",
+                )
+                return commit
+
+            # We are behind: run the retrieval procedure and try again.
+            entries = yield from self.log.fetch_range(
+                key, replica.applied_ts + 1, result.last_ts,
+                parallel=self.config.parallel_retrieval,
+            )
+            merge = integrate_remote_patches(
+                replica, [(entry.ts, entry.patch) for entry in entries], pending
+            )
+            pending = merge.rebased_local
+            retrieved_total += len(entries)
+
+    # ----------------------------------------------------------------------- sync --
+
+    def sync(self, key: str):
+        """Bring the local replica of ``key`` up to date (retrieval procedure).
+
+        Simulation process returning a :class:`~repro.core.protocol.SyncResult`.
+        Pending local edits, if any, are transformed so they still apply to
+        the refreshed replica.
+        """
+        started_at = self.node.sim.now
+        replica = self.document(key)
+        last_ts = yield from self._call_master(key, "ltr_last_ts")
+        if last_ts <= replica.applied_ts:
+            result = SyncResult(
+                document_key=key,
+                from_ts=replica.applied_ts,
+                to_ts=replica.applied_ts,
+                already_current=True,
+                started_at=started_at,
+                finished_at=self.node.sim.now,
+            )
+            self.sync_results.append(result)
+            return result
+
+        from_ts = replica.applied_ts
+        entries = yield from self.log.fetch_range(
+            key, replica.applied_ts + 1, last_ts,
+            parallel=self.config.parallel_retrieval,
+        )
+        pending = self.pending.get(key)
+        merge = integrate_remote_patches(
+            replica, [(entry.ts, entry.patch) for entry in entries], pending
+        )
+        if pending is not None and merge.rebased_local is not None:
+            self.pending[key] = merge.rebased_local
+        result = SyncResult(
+            document_key=key,
+            from_ts=from_ts,
+            to_ts=replica.applied_ts,
+            retrieved_patches=len(entries),
+            started_at=started_at,
+            finished_at=self.node.sim.now,
+        )
+        self.sync_results.append(result)
+        return result
+
+    def last_known_ts(self, key: str) -> int:
+        """Timestamp of the last patch integrated into the local replica."""
+        return self.document(key).applied_ts
+
+    # -------------------------------------------------------------------- plumbing --
+
+    def _call_master(self, key: str, method: str, **arguments: Any):
+        """Route a request to the current Master-key peer of ``key``.
+
+        Retries (with a delay) when the Master is unreachable, because after
+        a crash the DHT needs a stabilization round before lookups resolve
+        to the Master-key-Succ that took over.
+        """
+        attempt = 0
+        while True:
+            try:
+                answer = yield from self.dht.call_owner(
+                    key, method, key_id=self.ht(key), key=key, **arguments
+                )
+                return answer["result"]
+            except _ROUTING_ERRORS as exc:
+                attempt += 1
+                if attempt > self.config.validation_retries:
+                    raise MasterUnavailable(
+                        f"Master-key peer for {key!r} unreachable after {attempt} attempts"
+                    ) from exc
+                yield self.node.sim.timeout(self.config.validation_retry_delay)
+
+    # ------------------------------------------------------------------ statistics --
+
+    def statistics(self) -> dict[str, Any]:
+        """Per-peer counters used by the experiment reports."""
+        commits = self.commit_results
+        return {
+            "author": self.author,
+            "commits": len(commits),
+            "conflict_commits": sum(1 for commit in commits if commit.had_conflicts),
+            "mean_commit_latency": (
+                sum(commit.latency for commit in commits) / len(commits) if commits else 0.0
+            ),
+            "mean_attempts": (
+                sum(commit.attempts for commit in commits) / len(commits) if commits else 0.0
+            ),
+            "syncs": len(self.sync_results),
+            "documents": sorted(self.documents),
+        }

@@ -1,0 +1,48 @@
+"""Uniform DHT client interface.
+
+The timestamping and logging services of P2P-LTR only need four operations
+from the DHT: ``put``, ``get``, ``remove`` and ``lookup`` (find the peer
+responsible for a key).  This module defines that contract so the services
+can run either against the full Chord ring (production path, used by all
+experiments) or against a trivial in-process table (used by the centralized
+baseline and by fast unit tests of client-side logic).
+
+All operations are *simulation processes* (generator functions used with
+``yield from``) because the Chord-backed implementation needs to perform
+network round trips.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional
+
+
+class DhtClient(ABC):
+    """Client-side view of a distributed hash table."""
+
+    @abstractmethod
+    def put(self, key: str, value: Any, *, key_id: Optional[int] = None):
+        """Store ``value`` under ``key`` (process; returns placement info)."""
+
+    @abstractmethod
+    def get(self, key: str, *, key_id: Optional[int] = None):
+        """Fetch the value stored under ``key`` (process; raises KeyNotFound)."""
+
+    @abstractmethod
+    def remove(self, key: str, *, key_id: Optional[int] = None):
+        """Delete ``key`` (process; returns whether it existed)."""
+
+    @abstractmethod
+    def lookup(self, key: str, *, key_id: Optional[int] = None):
+        """Locate the peer responsible for ``key`` (process; returns a descriptor)."""
+
+    @abstractmethod
+    def call_owner(self, routing_key: str, method: str, *, key_id: Optional[int] = None,
+                   **arguments: Any):
+        """Invoke an RPC ``method`` on the peer responsible for ``routing_key`` (process).
+
+        The first parameter is only used for routing; the arguments forwarded
+        to the remote handler are the keyword ``arguments`` (which may
+        therefore freely include a ``key`` argument of their own).
+        """

@@ -1,0 +1,61 @@
+"""Chord-backed implementation of the :class:`~repro.dht.api.DhtClient`."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..chord import ChordNode, hash_to_id
+from .api import DhtClient
+
+
+class ChordDhtClient(DhtClient):
+    """DHT operations routed through a peer's own Chord node.
+
+    Every P2P-LTR peer is itself a member of the DHT (Figure 1 of the
+    paper), so its DHT client simply delegates to the local
+    :class:`~repro.chord.ChordNode`, which performs the routed lookups and
+    remote stores.
+    """
+
+    def __init__(self, node: ChordNode) -> None:
+        self.node = node
+
+    @property
+    def bits(self) -> int:
+        """Width of the identifier space used by the underlying ring."""
+        return self.node.config.bits
+
+    def hash_key(self, key: str, salt: str = "") -> int:
+        """Hash ``key`` onto the ring's identifier space."""
+        return hash_to_id(key, self.bits, salt=salt)
+
+    def put(self, key: str, value: Any, *, key_id: Optional[int] = None):
+        result = yield from self.node.put(key, value, key_id=key_id)
+        return result
+
+    def get(self, key: str, *, key_id: Optional[int] = None):
+        result = yield from self.node.get(key, key_id=key_id)
+        return result
+
+    def remove(self, key: str, *, key_id: Optional[int] = None):
+        result = yield from self.node.remove(key, key_id=key_id)
+        return result
+
+    def lookup(self, key: str, *, key_id: Optional[int] = None):
+        if key_id is not None:
+            result = yield from self.node.find_successor(key_id)
+        else:
+            result = yield from self.node.lookup(key)
+        return result
+
+    def call_owner(self, routing_key: str, method: str, *, key_id: Optional[int] = None,
+                   timeout: Optional[float] = None, **arguments: Any):
+        """Route to the responsible peer, then invoke ``method`` on it.
+
+        Returns ``{"owner": NodeRef, "hops": int, "result": Any}``.
+        """
+        identifier = key_id if key_id is not None else self.hash_key(routing_key)
+        answer = yield from self.node.find_successor(identifier)
+        owner = answer["node"]
+        outcome = yield self.node.rpc.call(owner.address, method, timeout=timeout, **arguments)
+        return {"owner": owner, "hops": answer["hops"], "result": outcome}

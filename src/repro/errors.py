@@ -1,0 +1,176 @@
+"""Exception hierarchy for the P2P-LTR reproduction.
+
+Every exception raised by the library derives from :class:`ReproError`, so
+applications can catch the whole family with a single ``except`` clause.
+Sub-hierarchies mirror the subsystems described in ``DESIGN.md``: the
+simulation kernel, the network substrate, the Chord DHT, the timestamp
+service, the P2P log and the P2P-LTR protocol itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event simulation kernel."""
+
+
+class EventAlreadyTriggered(SimulationError):
+    """An event was succeeded or failed more than once."""
+
+
+class ProcessInterrupted(SimulationError):
+    """A simulation process was interrupted by another process.
+
+    The optional ``cause`` attribute carries the object passed to
+    :meth:`repro.sim.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class SimulationDeadlock(SimulationError):
+    """``run(until=...)`` could not reach the requested time: no events left."""
+
+
+# ---------------------------------------------------------------------------
+# Network substrate
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for errors raised by the simulated network."""
+
+
+class NodeUnreachable(NetworkError):
+    """A message was sent to a node that has crashed or left the network."""
+
+
+class RequestTimeout(NetworkError):
+    """An RPC did not receive a response within its timeout."""
+
+
+class MessageDropped(NetworkError):
+    """A message was dropped by the loss model or a network partition."""
+
+
+class UnknownRpcMethod(NetworkError):
+    """The remote peer does not expose the requested RPC method."""
+
+
+# ---------------------------------------------------------------------------
+# Chord DHT
+# ---------------------------------------------------------------------------
+
+
+class DhtError(ReproError):
+    """Base class for errors raised by the DHT layer."""
+
+
+class LookupFailed(DhtError):
+    """A Chord lookup could not be resolved (e.g. the ring is broken)."""
+
+
+class KeyNotFound(DhtError):
+    """``get`` was called for a key that is not stored in the DHT."""
+
+
+class NotResponsible(DhtError):
+    """A node received a request for a key it is not responsible for."""
+
+
+class NodeNotJoined(DhtError):
+    """An operation was attempted on a node that is not part of a ring."""
+
+
+# ---------------------------------------------------------------------------
+# Timestamp service (KTS)
+# ---------------------------------------------------------------------------
+
+
+class TimestampError(ReproError):
+    """Base class for errors raised by the key-based timestamp service."""
+
+
+class TimestampGapDetected(TimestampError):
+    """A per-key timestamp sequence is no longer continuous."""
+
+
+class StaleTimestamp(TimestampError):
+    """A tentative patch carried a timestamp older than the master's last-ts.
+
+    This is the normal "you are behind, retrieve first" signal of the
+    P2P-LTR validation procedure; callers are expected to catch it, run the
+    retrieval procedure and retry.
+    """
+
+    def __init__(self, expected: int, last_ts: int) -> None:
+        super().__init__(f"expected ts {expected} but master last-ts is {last_ts}")
+        self.expected = expected
+        self.last_ts = last_ts
+
+
+# ---------------------------------------------------------------------------
+# P2P-Log
+# ---------------------------------------------------------------------------
+
+
+class LogError(ReproError):
+    """Base class for errors raised by the P2P log."""
+
+
+class PatchUnavailable(LogError):
+    """A patch could not be retrieved from any of its Log-Peer replicas."""
+
+    def __init__(self, key: str, ts: int) -> None:
+        super().__init__(f"patch ({key!r}, ts={ts}) unavailable at all replicas")
+        self.key = key
+        self.ts = ts
+
+
+# ---------------------------------------------------------------------------
+# Reconciliation / OT
+# ---------------------------------------------------------------------------
+
+
+class ReconciliationError(ReproError):
+    """Base class for errors raised by the reconciliation engine."""
+
+
+class InvalidOperation(ReconciliationError):
+    """A text operation is malformed or does not apply to the document."""
+
+
+class DivergenceDetected(ReconciliationError):
+    """Replicas did not converge although the protocol claims they should."""
+
+
+# ---------------------------------------------------------------------------
+# P2P-LTR protocol
+# ---------------------------------------------------------------------------
+
+
+class LtrError(ReproError):
+    """Base class for errors raised by the P2P-LTR protocol layer."""
+
+
+class ValidationFailed(LtrError):
+    """The patch timestamp validation procedure failed permanently."""
+
+
+class MasterUnavailable(LtrError):
+    """No Master-key peer (nor a successor) could be reached for a key."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration was supplied to a component."""

@@ -1,0 +1,42 @@
+"""Experiment harness: the code that regenerates every scenario and figure."""
+
+from .report import EXPERIMENT_DESCRIPTIONS, render_markdown_report
+from .runner import (
+    FULL_PARAMETERS,
+    QUICK_PARAMETERS,
+    ExperimentRun,
+    render_runs,
+    run_all,
+    run_experiment,
+)
+from .scenarios import (
+    experiment_baseline_comparison,
+    experiment_chord_lookup,
+    experiment_concurrent_publishing,
+    experiment_log_availability,
+    experiment_master_departure,
+    experiment_master_join,
+    experiment_response_time,
+    experiment_timestamp_generation,
+    iter_all_experiments,
+)
+
+__all__ = [
+    "EXPERIMENT_DESCRIPTIONS",
+    "ExperimentRun",
+    "FULL_PARAMETERS",
+    "QUICK_PARAMETERS",
+    "experiment_baseline_comparison",
+    "experiment_chord_lookup",
+    "experiment_concurrent_publishing",
+    "experiment_log_availability",
+    "experiment_master_departure",
+    "experiment_master_join",
+    "experiment_response_time",
+    "experiment_timestamp_generation",
+    "iter_all_experiments",
+    "render_markdown_report",
+    "render_runs",
+    "run_all",
+    "run_experiment",
+]

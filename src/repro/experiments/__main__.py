@@ -1,0 +1,41 @@
+"""Command-line entry point: run the experiment suite and print its tables.
+
+Usage::
+
+    python -m repro.experiments            # quick parameters, all experiments
+    python -m repro.experiments --full     # paper-scale parameters (slower)
+    python -m repro.experiments E2 E3      # only selected experiments
+    python -m repro.experiments --markdown # render as a markdown report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .report import render_markdown_report
+from .runner import render_runs, run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the selected experiments and print the result tables."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids to run (default: all of E1..E8)")
+    parser.add_argument("--full", action="store_true",
+                        help="use the slower, paper-scale parameters")
+    parser.add_argument("--markdown", action="store_true",
+                        help="render the results as a markdown report")
+    arguments = parser.parse_args(argv)
+
+    only = arguments.experiments or None
+    runs = run_all(quick=not arguments.full, only=only)
+    if arguments.markdown:
+        print(render_markdown_report(runs))
+    else:
+        print(render_runs(runs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI only
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Report generation: turn experiment runs into an EXPERIMENTS.md-style document."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .runner import ExperimentRun
+
+#: One-line description of what each experiment reproduces.
+EXPERIMENT_DESCRIPTIONS = {
+    "E1": "Scenario 'Timestamp generation' (Figure 4): responsibility spread and continuity.",
+    "E2": "Scenario 'Concurrent patch publishing' (Figure 5): serialization and total-order retrieval.",
+    "E3": "Scenario 'Master-key peer departures': graceful leave and crash.",
+    "E4": "Scenario 'New Master-key peer joining': key and timestamp hand-over.",
+    "E5": "Prototype measurement: update response time vs. peers and network latency.",
+    "E6": "Motivation (Section 1): P2P-LTR vs. centralized reconciler vs. LWW.",
+    "E7": "Design ablation: P2P-Log availability vs. replication factor |Hr|.",
+    "E8": "Substrate validation: Chord lookup correctness and hop counts.",
+}
+
+
+def render_markdown_report(runs: Sequence[ExperimentRun], *, title: str = "Experiment results") -> str:
+    """Render runs as a markdown document (tables + descriptions)."""
+    lines = [f"# {title}", ""]
+    for run in runs:
+        description = EXPERIMENT_DESCRIPTIONS.get(run.experiment_id, "")
+        lines.append(f"## {run.experiment_id} — {run.table.title}")
+        if description:
+            lines.append("")
+            lines.append(description)
+        if run.parameters:
+            rendered = ", ".join(f"{key}={value}" for key, value in sorted(run.parameters.items()))
+            lines.append("")
+            lines.append(f"Parameters: `{rendered}`")
+        lines.append("")
+        lines.append(run.table.to_markdown())
+        for note in run.table.notes:
+            lines.append(f"*{note}*")
+            lines.append("")
+    return "\n".join(lines)

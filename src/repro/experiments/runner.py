@@ -1,0 +1,77 @@
+"""Experiment runner: execute the scenarios and collect their tables.
+
+``python -m repro.experiments`` runs everything with the default (quick)
+parameters and prints the tables; the pytest-benchmark modules call
+individual experiments with their own parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..metrics import ResultTable, render_tables
+from . import scenarios
+
+#: Parameter overrides for a fast smoke run of every experiment.
+QUICK_PARAMETERS: dict[str, dict] = {
+    "E1": {"peer_counts": (8, 16), "documents": 24, "updates_per_document": 2},
+    "E2": {"updater_counts": (2, 4), "peers": 10},
+    "E3": {"events": ("leave", "crash"), "peers": 10},
+    "E4": {"joiners": 2, "peers": 6, "documents": 12},
+    "E5": {"peer_counts": (8, 16), "latency_presets": ("lan", "wan"), "commits_per_setting": 5},
+    "E6": {"updater_counts": (2, 4), "peers": 10},
+    "E7": {"replication_factors": (1, 2, 3), "crashed_log_peers": 1, "peers": 12, "entries": 6},
+    "E8": {"peer_counts": (8, 16), "lookups": 20},
+}
+
+#: Parameters closer to the paper's demonstration scale (slower).
+FULL_PARAMETERS: dict[str, dict] = {
+    "E1": {"peer_counts": (8, 16, 32, 64), "documents": 64, "updates_per_document": 3},
+    "E2": {"updater_counts": (2, 4, 8, 16), "peers": 24},
+    "E3": {"events": ("leave", "crash", "leave", "crash"), "peers": 16},
+    "E4": {"joiners": 4, "peers": 12, "documents": 32},
+    "E5": {"peer_counts": (8, 16, 32), "latency_presets": ("lan", "campus", "wan"),
+           "commits_per_setting": 10},
+    "E6": {"updater_counts": (2, 4, 8), "peers": 16},
+    "E7": {"replication_factors": (1, 2, 3, 4), "crashed_log_peers": 2, "peers": 16,
+           "entries": 12},
+    "E8": {"peer_counts": (8, 16, 32, 64), "lookups": 40},
+}
+
+
+@dataclass
+class ExperimentRun:
+    """The outcome of running one experiment."""
+
+    experiment_id: str
+    table: ResultTable
+    parameters: dict = field(default_factory=dict)
+
+
+def run_experiment(experiment_id: str, *, quick: bool = True,
+                   overrides: Optional[dict] = None) -> ExperimentRun:
+    """Run one experiment by id (``"E1"`` .. ``"E8"``)."""
+    functions: dict[str, Callable[..., ResultTable]] = dict(scenarios.iter_all_experiments())
+    if experiment_id not in functions:
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(functions)}")
+    parameters = dict((QUICK_PARAMETERS if quick else FULL_PARAMETERS).get(experiment_id, {}))
+    if overrides:
+        parameters.update(overrides)
+    table = functions[experiment_id](**parameters)
+    return ExperimentRun(experiment_id=experiment_id, table=table, parameters=parameters)
+
+
+def run_all(*, quick: bool = True, only: Optional[Sequence[str]] = None) -> list[ExperimentRun]:
+    """Run every experiment (or the subset in ``only``) and return the results."""
+    runs = []
+    for experiment_id, _function in scenarios.iter_all_experiments():
+        if only is not None and experiment_id not in only:
+            continue
+        runs.append(run_experiment(experiment_id, quick=quick))
+    return runs
+
+
+def render_runs(runs: Sequence[ExperimentRun]) -> str:
+    """Human-readable rendering of a list of experiment runs."""
+    return render_tables([run.table for run in runs])

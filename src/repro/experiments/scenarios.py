@@ -1,0 +1,531 @@
+"""Experiment implementations: one function per scenario/figure of the paper.
+
+Each function builds the systems it needs, replays the corresponding
+workload, and returns a :class:`~repro.metrics.ResultTable` whose rows are
+what the paper's demonstration shows qualitatively (and what its prototype
+measures as "correctness and response times").  The benchmark modules under
+``benchmarks/`` and the ``EXPERIMENTS.md`` generator both call these
+functions; see ``DESIGN.md`` for the experiment-id ↔ paper-artefact mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..baselines import CentralSystem, LwwSystem
+from ..chord import ChordConfig, ChordRing
+from ..core import LtrConfig, LtrSystem
+from ..dht import ChordDhtClient
+from ..errors import KeyNotFound, MasterUnavailable, PatchUnavailable
+from ..kts import KtsClient, TimestampAuthority
+from ..metrics import ResultTable, jains_fairness, summarize
+from ..net import ConstantLatency, latency_preset
+from ..p2plog import P2PLogClient
+from ..workloads import generate_corpus
+
+#: Chord settings shared by all experiments (small id space keeps hashing cheap).
+EXPERIMENT_CHORD_CONFIG = ChordConfig(
+    bits=32,
+    successor_list_size=4,
+    replication_factor=2,
+    stabilize_interval=0.25,
+    fix_fingers_interval=0.5,
+    check_predecessor_interval=0.5,
+)
+
+
+def _build_system(peers: int, *, seed: int, latency=None, ltr_config: Optional[LtrConfig] = None) -> LtrSystem:
+    system = LtrSystem(
+        ltr_config=ltr_config if ltr_config is not None else LtrConfig(),
+        chord_config=EXPERIMENT_CHORD_CONFIG,
+        seed=seed,
+        latency=latency if latency is not None else ConstantLatency(0.005),
+    )
+    system.bootstrap(peers)
+    return system
+
+
+# ---------------------------------------------------------------------------
+# E1 — Timestamp generation (Figure 4)
+# ---------------------------------------------------------------------------
+
+
+def experiment_timestamp_generation(
+    peer_counts: Sequence[int] = (8, 16, 32),
+    documents: int = 48,
+    updates_per_document: int = 3,
+    seed: int = 1,
+) -> ResultTable:
+    """Continuous timestamp generation distributed over the Master-key peers.
+
+    For each ring size, every document receives ``updates_per_document``
+    timestamps; the table reports how responsibility spreads over peers
+    (Jain's fairness index), the mean ``gen_ts`` response time and whether
+    every per-document sequence is continuous (1..k with no gap).
+    """
+    table = ResultTable(
+        title="E1 Timestamp generation across the DHT",
+        columns=[
+            "peers", "documents", "masters_used", "max_keys_per_master",
+            "fairness", "mean_gen_ts_latency_s", "continuous_sequences",
+        ],
+    )
+    corpus = generate_corpus(documents, seed=seed)
+    for peers in peer_counts:
+        ring = ChordRing(
+            config=EXPERIMENT_CHORD_CONFIG,
+            seed=seed + peers,
+            latency=ConstantLatency(0.005),
+            service_factory=lambda address: [TimestampAuthority()],
+        )
+        ring.bootstrap(peers)
+        gateway = ring.gateway()
+        kts = KtsClient(ChordDhtClient(gateway))
+        latencies = []
+        for document in corpus:
+            for _ in range(updates_per_document):
+                started = ring.sim.now
+                ring.sim.run(until=ring.sim.process(kts.gen_ts(document.key)))
+                latencies.append(ring.sim.now - started)
+        per_master = {
+            node.address.name: len(node.service("kts").managed_keys())
+            for node in ring.live_nodes()
+        }
+        continuous = all(
+            ring.sim.run(until=ring.sim.process(kts.last_ts(document.key)))
+            == updates_per_document
+            for document in corpus
+        )
+        loads = [count for count in per_master.values()]
+        table.add_row(
+            peers=peers,
+            documents=len(corpus),
+            masters_used=sum(1 for count in loads if count > 0),
+            max_keys_per_master=max(loads),
+            fairness=round(jains_fairness(loads), 3),
+            mean_gen_ts_latency_s=summarize(latencies).mean,
+            continuous_sequences=continuous,
+        )
+    table.add_note(
+        "paper claim: each Master-key peer is responsible for a subset of the "
+        "documents and timestamps are continuous (ts' = ts + 1)"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E2 — Concurrent patch publishing (Figure 5)
+# ---------------------------------------------------------------------------
+
+
+def experiment_concurrent_publishing(
+    updater_counts: Sequence[int] = (2, 4, 8),
+    peers: int = 16,
+    seed: int = 2,
+) -> ResultTable:
+    """Concurrent updates on one document: serialization, retrieval, consistency."""
+    table = ResultTable(
+        title="E2 Concurrent patch publishing on a single document",
+        columns=[
+            "updaters", "validated_ts", "mean_attempts", "mean_retrieved",
+            "mean_commit_latency_s", "p95_commit_latency_s", "converged",
+        ],
+    )
+    for updaters in updater_counts:
+        system = _build_system(max(peers, updaters), seed=seed + updaters)
+        key = f"xwiki:hot-{updaters}"
+        names = system.peer_names()[:updaters]
+        results = system.run_concurrent_commits(
+            [(name, key, f"contribution from {name}") for name in names]
+        )
+        report = system.check_consistency(key)
+        latencies = [result.latency for result in results]
+        table.add_row(
+            updaters=updaters,
+            validated_ts=system.last_ts(key),
+            mean_attempts=summarize([result.attempts for result in results]).mean,
+            mean_retrieved=summarize([result.retrieved_patches for result in results]).mean,
+            mean_commit_latency_s=summarize(latencies).mean,
+            p95_commit_latency_s=summarize(latencies).p95,
+            converged=report.converged,
+        )
+    table.add_note(
+        "paper claim: concurrent updates are serialized by the Master-key peer "
+        "(continuous timestamps) and retrieval returns missing patches in total order"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E3 — Master-key peer departures (normal and failure)
+# ---------------------------------------------------------------------------
+
+
+def experiment_master_departure(
+    events: Sequence[str] = ("leave", "crash", "leave", "crash"),
+    peers: int = 12,
+    seed: int = 3,
+) -> ResultTable:
+    """Timestamp continuity across Master-key departures and crashes."""
+    table = ResultTable(
+        title="E3 Master-key peer departures",
+        columns=[
+            "event", "ts_before", "ts_after_recovery", "new_master_differs",
+            "next_commit_ts", "continuity_preserved", "converged",
+        ],
+    )
+    system = _build_system(peers, seed=seed)
+    key = "xwiki:departures"
+    expected_ts = 0
+    for event in events:
+        writer = system.peer_names()[0]
+        expected_ts += 1
+        system.edit_and_commit(writer, key, f"content before {event} #{expected_ts}")
+        system.run_for(2.0)  # let counter/log replicas settle
+        old_master = system.master_of(key)
+        ts_before = system.last_ts(key)
+        if event == "leave":
+            system.leave(old_master)
+        else:
+            system.crash(old_master)
+        new_master = system.master_of(key)
+        ts_after = system.last_ts(key)
+        writer = system.peer_names()[0]
+        expected_ts += 1
+        result = system.edit_and_commit(writer, key, f"content after {event} #{expected_ts}")
+        report = system.check_consistency(key)
+        table.add_row(
+            event=event,
+            ts_before=ts_before,
+            ts_after_recovery=ts_after,
+            new_master_differs=new_master != old_master,
+            next_commit_ts=result.ts,
+            continuity_preserved=result.ts == ts_before + 1,
+            converged=report.converged,
+        )
+    table.add_note(
+        "paper claim: keys and last-ts transfer to the Master-key-Succ so the "
+        "timestamp sequence continues without gaps"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E4 — New Master-key peer joining
+# ---------------------------------------------------------------------------
+
+
+def experiment_master_join(
+    joiners: int = 3,
+    peers: int = 8,
+    documents: int = 24,
+    seed: int = 4,
+) -> ResultTable:
+    """Key/timestamp hand-over to newly joining Master-key peers."""
+    table = ResultTable(
+        title="E4 New Master-key peer joining",
+        columns=[
+            "joiner", "keys_taken_over", "counters_correct",
+            "post_join_commit_ok", "converged_sample",
+        ],
+    )
+    system = _build_system(peers, seed=seed)
+    corpus = generate_corpus(documents, seed=seed)
+    writers = system.peer_names()
+    for index, document in enumerate(corpus):
+        system.edit_and_commit(writers[index % len(writers)], document.key, document.text)
+    for joiner_index in range(joiners):
+        name = f"joiner-{joiner_index}"
+        owners_before = {document.key: system.master_of(document.key) for document in corpus}
+        expected_ts = {document.key: system.last_ts(document.key) for document in corpus}
+        system.add_peer(name)
+        moved = [
+            document.key
+            for document in corpus
+            if system.master_of(document.key) == name and owners_before[document.key] != name
+        ]
+        counters_correct = all(
+            system.last_ts(key) == expected_ts[key] for key in moved
+        )
+        post_join_ok = True
+        sample_converged = True
+        if moved:
+            sample_key = moved[0]
+            writer = system.peer_names()[0]
+            result = system.edit_and_commit(
+                writer, sample_key, f"update after {name} joined"
+            )
+            post_join_ok = result.ts == expected_ts[sample_key] + 1
+            sample_converged = system.check_consistency(sample_key).converged
+        table.add_row(
+            joiner=name,
+            keys_taken_over=len(moved),
+            counters_correct=counters_correct,
+            post_join_commit_ok=post_join_ok,
+            converged_sample=sample_converged,
+        )
+    table.add_note(
+        "paper claim: the old responsible transfers its keys and timestamps to "
+        "the new Master-key peer without violating eventual consistency"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E5 — Response time vs. number of peers and network latency
+# ---------------------------------------------------------------------------
+
+
+def experiment_response_time(
+    peer_counts: Sequence[int] = (8, 16, 32),
+    latency_presets: Sequence[str] = ("lan", "campus", "wan"),
+    commits_per_setting: int = 10,
+    seed: int = 5,
+) -> ResultTable:
+    """Update response time as a function of ring size and network latency."""
+    table = ResultTable(
+        title="E5 Update response time vs. peers and latency",
+        columns=[
+            "peers", "latency_preset", "mean_commit_latency_s",
+            "p95_commit_latency_s", "mean_one_way_latency_s",
+        ],
+    )
+    for peers in peer_counts:
+        for preset in latency_presets:
+            model = latency_preset(preset)
+            system = _build_system(peers, seed=seed + peers, latency=model)
+            key = f"xwiki:rt-{peers}-{preset}"
+            writer = system.peer_names()[0]
+            latencies = []
+            for index in range(commits_per_setting):
+                result = system.edit_and_commit(writer, key, f"revision {index}")
+                latencies.append(result.latency)
+            summary = summarize(latencies)
+            table.add_row(
+                peers=peers,
+                latency_preset=preset,
+                mean_commit_latency_s=summary.mean,
+                p95_commit_latency_s=summary.p95,
+                mean_one_way_latency_s=model.mean(),
+            )
+    table.add_note(
+        "expected shape: response time scales with one-way latency (constant hop "
+        "count per validation) and only logarithmically with the number of peers"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E6 — Comparison against the centralized reconciler and LWW baselines
+# ---------------------------------------------------------------------------
+
+
+def experiment_baseline_comparison(
+    updater_counts: Sequence[int] = (2, 4, 8),
+    peers: int = 16,
+    seed: int = 6,
+) -> ResultTable:
+    """P2P-LTR vs. centralized reconciler vs. last-writer-wins."""
+    table = ResultTable(
+        title="E6 P2P-LTR vs. baselines",
+        columns=[
+            "system", "updaters", "mean_commit_latency_s", "all_updates_preserved",
+            "survives_coordinator_crash", "lost_updates",
+        ],
+    )
+    for updaters in updater_counts:
+        key = f"xwiki:baseline-{updaters}"
+
+        # --- P2P-LTR ---------------------------------------------------------
+        ltr = _build_system(max(peers, updaters), seed=seed + updaters)
+        names = ltr.peer_names()[:updaters]
+        results = ltr.run_concurrent_commits(
+            [(name, key, f"text by {name}") for name in names]
+        )
+        ltr_report = ltr.check_consistency(key)
+        crash_survivor = True
+        try:
+            ltr.crash(ltr.master_of(key))
+            survivor = ltr.peer_names()[0]
+            ltr.edit_and_commit(survivor, key, "post-crash update")
+        except MasterUnavailable:
+            crash_survivor = False
+        table.add_row(
+            system="p2p-ltr",
+            updaters=updaters,
+            mean_commit_latency_s=summarize([result.latency for result in results]).mean,
+            all_updates_preserved=ltr_report.converged
+            and ltr_report.last_ts == updaters,
+            survives_coordinator_crash=crash_survivor,
+            lost_updates=0,
+        )
+
+        # --- Centralized reconciler -------------------------------------------
+        central = CentralSystem(
+            peer_count=max(peers, updaters), seed=seed + updaters,
+            latency=ConstantLatency(0.005),
+        )
+        central_results = central.run_concurrent_commits(
+            [(f"peer-{index}", key, f"text by peer-{index}") for index in range(updaters)]
+        )
+        central.crash_reconciler()
+        central_survives = True
+        try:
+            central.edit_and_commit("peer-0", key, "post-crash update")
+        except MasterUnavailable:
+            central_survives = False
+        table.add_row(
+            system="central",
+            updaters=updaters,
+            mean_commit_latency_s=summarize(
+                [result["latency"] for result in central_results]
+            ).mean,
+            all_updates_preserved=True,
+            survives_coordinator_crash=central_survives,
+            lost_updates=0,
+        )
+
+        # --- Last-writer-wins ----------------------------------------------------
+        lww = LwwSystem.build(
+            peer_count=max(peers, updaters), seed=seed + updaters,
+            latency=ConstantLatency(0.005),
+        )
+        for index in range(updaters):
+            lww.write(f"peer-{index}", key, f"text by peer-{index}")
+        lww.settle(2.0)
+        table.add_row(
+            system="lww",
+            updaters=updaters,
+            mean_commit_latency_s=0.0,
+            all_updates_preserved=lww.lost_updates(key) == 0,
+            survives_coordinator_crash=True,
+            lost_updates=lww.lost_updates(key),
+        )
+    table.add_note(
+        "expected shape: only P2P-LTR both survives coordinator failure and "
+        "preserves every concurrent contribution"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E7 — P2P-Log availability vs. replication factor |Hr|
+# ---------------------------------------------------------------------------
+
+
+def experiment_log_availability(
+    replication_factors: Sequence[int] = (1, 2, 3),
+    crashed_log_peers: int = 2,
+    peers: int = 16,
+    entries: int = 12,
+    seed: int = 7,
+) -> ResultTable:
+    """Patch availability under Log-Peer failures, by replication factor."""
+    table = ResultTable(
+        title="E7 P2P-Log availability vs. replication factor",
+        columns=[
+            "replication_factor", "entries", "crashed_peers",
+            "retrievable_fraction", "mean_available_placements",
+        ],
+    )
+    for factor in replication_factors:
+        system = _build_system(
+            peers, seed=seed + factor,
+            ltr_config=LtrConfig(log_replication_factor=factor),
+        )
+        key = f"xwiki:avail-{factor}"
+        writer = system.peer_names()[0]
+        for index in range(entries):
+            system.edit_and_commit(writer, key, f"revision {index}")
+        system.run_for(2.0)
+        log = system.log_client()
+        # crash peers that hold log placements (but never the writer itself)
+        victims = []
+        for ts in range(1, entries + 1):
+            for _, identifier in log.placements(key, ts):
+                owner = system.ring.responsible_node_for_id(identifier).address.name
+                if owner != writer and owner not in victims:
+                    victims.append(owner)
+            if len(victims) >= crashed_log_peers:
+                break
+        for victim in victims[:crashed_log_peers]:
+            system.crash(victim)
+        log = system.log_client(via=writer)
+        retrievable = 0
+        placements_alive = []
+        for ts in range(1, entries + 1):
+            try:
+                system.sim.run(until=system.sim.process(log.fetch(key, ts)))
+                retrievable += 1
+            except (PatchUnavailable, KeyNotFound):
+                pass
+            placements_alive.append(
+                system.sim.run(until=system.sim.process(log.availability(key, ts)))
+            )
+        table.add_row(
+            replication_factor=factor,
+            entries=entries,
+            crashed_peers=len(victims[:crashed_log_peers]),
+            retrievable_fraction=retrievable / entries,
+            mean_available_placements=summarize(placements_alive).mean,
+        )
+    table.add_note(
+        "expected shape: availability rises sharply with |Hr|; with the DHT's own "
+        "successor replication even |Hr|=1 usually survives a single crash"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E8 — Chord substrate health (lookup correctness and hop counts)
+# ---------------------------------------------------------------------------
+
+
+def experiment_chord_lookup(
+    peer_counts: Sequence[int] = (8, 16, 32),
+    lookups: int = 40,
+    seed: int = 8,
+) -> ResultTable:
+    """Lookup correctness and hop counts of the Chord substitute."""
+    table = ResultTable(
+        title="E8 Chord lookup correctness and hop count",
+        columns=["peers", "lookups", "correct_fraction", "mean_hops", "max_hops"],
+    )
+    for peers in peer_counts:
+        ring = ChordRing(
+            config=EXPERIMENT_CHORD_CONFIG, seed=seed + peers,
+            latency=ConstantLatency(0.003),
+        )
+        ring.bootstrap(peers)
+        ring.run_for(20.0)  # let fix_fingers converge
+        correct = 0
+        hops = []
+        for index in range(lookups):
+            key = f"lookup-key-{index}"
+            answer = ring.lookup(key, via=ring.ring_order()[index % peers])
+            hops.append(answer["hops"])
+            if answer["node"] == ring.responsible_node(key).ref:
+                correct += 1
+        table.add_row(
+            peers=peers,
+            lookups=lookups,
+            correct_fraction=correct / lookups,
+            mean_hops=summarize(hops).mean,
+            max_hops=max(hops),
+        )
+    table.add_note("expected shape: hop count grows logarithmically with ring size")
+    return table
+
+
+def iter_all_experiments() -> Iterable[tuple[str, callable]]:
+    """(experiment id, function) pairs in paper order."""
+    return [
+        ("E1", experiment_timestamp_generation),
+        ("E2", experiment_concurrent_publishing),
+        ("E3", experiment_master_departure),
+        ("E4", experiment_master_join),
+        ("E5", experiment_response_time),
+        ("E6", experiment_baseline_comparison),
+        ("E7", experiment_log_availability),
+        ("E8", experiment_chord_lookup),
+    ]

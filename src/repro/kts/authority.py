@@ -1,0 +1,172 @@
+"""The server side of the Key-based Timestamp Service (KTS).
+
+Every Chord node hosts a :class:`TimestampAuthority`.  The authority manages
+the timestamp counters of exactly those document keys whose ``ht(key)``
+identifier falls into the node's responsibility interval — that node is the
+paper's *Master-key peer* for those documents.  Counters are persisted in the
+node's DHT storage (under ``kts:<key>`` with placement identifier
+``ht(key)``), which gives the two properties the demonstration scenarios
+exercise:
+
+* **Normal departure / new peer joining** — Chord's key hand-off moves the
+  counter items to the new responsible node, so the next ``gen_ts`` simply
+  continues the sequence (scenarios E3/E4).
+* **Crash** — the counter replicas previously pushed to the successor are
+  promoted when the failure is detected, so the *Master-key-Succ* takes over
+  with the correct ``last-ts`` (scenario E3, failure case).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ..chord import NodeService, SaltedHash, StoredItem, timestamp_hash
+from ..errors import StaleTimestamp
+
+#: Storage-key prefix under which counters are persisted.
+COUNTER_PREFIX = "kts:"
+
+
+class TimestampAuthority(NodeService):
+    """Per-node service generating continuous, monotonic timestamps."""
+
+    name = "kts"
+
+    def __init__(self, ht: Optional[SaltedHash] = None) -> None:
+        super().__init__()
+        self._ht = ht
+        self.generated = 0
+        self.takeovers = 0
+        self.transfers_in = 0
+        self.transfers_out = 0
+
+    # -- NodeService hooks -------------------------------------------------
+
+    def register_handlers(self, node) -> None:  # noqa: D401 - see base class
+        if self._ht is None:
+            self._ht = timestamp_hash(node.config.bits)
+        node.rpc.expose("kts_gen_ts", self.gen_ts)
+        node.rpc.expose("kts_last_ts", self.last_ts)
+        node.rpc.expose("kts_advance_ts", self.advance_ts)
+        node.rpc.expose("kts_managed_keys", self.managed_keys)
+
+    def on_items_received(self, items: Iterable[StoredItem], *, as_replica: bool) -> None:
+        if not as_replica:
+            self.transfers_in += sum(1 for item in items if item.key.startswith(COUNTER_PREFIX))
+
+    def on_items_handed_off(self, items: Iterable[StoredItem], successor_name: str) -> None:
+        self.transfers_out += sum(1 for item in items if item.key.startswith(COUNTER_PREFIX))
+
+    def on_replicas_promoted(self, items: Iterable[StoredItem]) -> None:
+        promoted = sum(1 for item in items if item.key.startswith(COUNTER_PREFIX))
+        if promoted:
+            self.takeovers += promoted
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def ht(self) -> SaltedHash:
+        """The ``ht`` hash function locating Master-key peers."""
+        if self._ht is None:
+            raise RuntimeError("TimestampAuthority used before being attached to a node")
+        return self._ht
+
+    def storage_key(self, key: str) -> str:
+        """Storage key under which the counter of ``key`` is persisted."""
+        return f"{COUNTER_PREFIX}{key}"
+
+    def placement_id(self, key: str) -> int:
+        """Ring identifier of the counter (``ht(key)``)."""
+        return self.ht(key)
+
+    def _node(self):
+        if self.node is None:
+            raise RuntimeError("TimestampAuthority is not attached to a node")
+        return self.node
+
+    # -- RPC handlers (the KTS operations of the paper) --------------------------
+
+    def gen_ts(self, key: str) -> int:
+        """Generate the next timestamp for ``key`` (monotonic and gap-free).
+
+        The new value is exactly ``last_ts(key) + 1``; the updated counter is
+        immediately replicated to the successor(s) so a crash of this node
+        does not lose it (Master-key-Succ backup).
+        """
+        node = self._node()
+        item = node.storage.update(
+            self.storage_key(key),
+            lambda current: (current or 0) + 1,
+            default=0,
+            now=node.sim.now,
+        )
+        # Pin the placement identifier so churn-driven key transfer moves the
+        # counter together with the responsibility for ht(key).
+        item.key_id = self.placement_id(key)
+        node._push_replicas([item])
+        self.generated += 1
+        node.sim.trace.annotate(
+            node.sim.now, "kts", f"{node.address.name} gen_ts({key}) -> {item.value}"
+        )
+        return item.value
+
+    def last_ts(self, key: str) -> int:
+        """Return the last timestamp generated for ``key`` (0 if none yet)."""
+        node = self._node()
+        return int(node.storage.value(self.storage_key(key), default=0))
+
+    def advance_ts(self, key: str, value: int) -> int:
+        """Raise the counter to ``value`` if it is currently lower.
+
+        Used when a Master-key peer recovers state from the P2P-Log or when
+        an administrator needs to reconcile a counter; never lowers the
+        counter, preserving monotonicity.
+        """
+        node = self._node()
+        current = self.last_ts(key)
+        if value <= current:
+            return current
+        item = node.storage.put(
+            self.storage_key(key),
+            value,
+            now=node.sim.now,
+            key_id=self.placement_id(key),
+        )
+        node._push_replicas([item])
+        return value
+
+    def expect_ts(self, key: str, proposed: int) -> int:
+        """Validate that ``proposed`` equals ``last_ts + 1`` and consume it.
+
+        Raises :class:`~repro.errors.StaleTimestamp` when the proposer is
+        behind (``last_ts >= proposed``), which is the paper's signal to run
+        the retrieval procedure first.
+        """
+        current = self.last_ts(key)
+        if proposed != current + 1:
+            raise StaleTimestamp(expected=proposed, last_ts=current)
+        return self.gen_ts(key)
+
+    def managed_keys(self) -> dict[str, int]:
+        """Mapping of document key to last timestamp for counters held here.
+
+        Only counters this node *owns* (not replicas) are reported — these
+        are the documents for which this node currently is the Master-key
+        peer (used by experiment E1 and the churn scenarios).
+        """
+        node = self._node()
+        result: dict[str, int] = {}
+        for item in node.storage.owned_items():
+            if item.key.startswith(COUNTER_PREFIX):
+                result[item.key[len(COUNTER_PREFIX):]] = int(item.value)
+        return result
+
+    def statistics(self) -> dict[str, Any]:
+        """Counters for experiment reports."""
+        return {
+            "generated": self.generated,
+            "takeovers": self.takeovers,
+            "transfers_in": self.transfers_in,
+            "transfers_out": self.transfers_out,
+            "managed_keys": len(self.managed_keys()),
+        }

@@ -1,0 +1,75 @@
+"""Client side of the Key-based Timestamp Service.
+
+A :class:`KtsClient` lets any peer ask the Master-key peer of a document for
+timestamps without knowing which physical node that is: the client hashes
+the document key with ``ht``, routes to the responsible node through the
+DHT and invokes the :class:`~repro.kts.authority.TimestampAuthority`
+handlers there.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..chord import SaltedHash, timestamp_hash
+from ..dht import ChordDhtClient
+from ..errors import MasterUnavailable, NodeUnreachable, RequestTimeout
+
+
+class KtsClient:
+    """Remote access to gen_ts / last_ts for arbitrary document keys."""
+
+    def __init__(
+        self,
+        dht: ChordDhtClient,
+        ht: Optional[SaltedHash] = None,
+        *,
+        retries: int = 2,
+        retry_delay: float = 0.1,
+    ) -> None:
+        self.dht = dht
+        self.ht = ht if ht is not None else timestamp_hash(dht.bits)
+        self.retries = retries
+        self.retry_delay = retry_delay
+
+    def _call(self, key: str, method: str, **arguments):
+        """Route to the Master-key peer of ``key`` and invoke ``method``.
+
+        Retries the whole route-and-call sequence, because after a Master
+        crash the first attempt may reach the dead node before stabilization
+        has repaired the ring.
+        """
+        attempt = 0
+        while True:
+            try:
+                answer = yield from self.dht.call_owner(
+                    key, method, key_id=self.ht(key), key=key, **arguments
+                )
+                return answer
+            except (RequestTimeout, NodeUnreachable) as exc:
+                attempt += 1
+                if attempt > self.retries:
+                    raise MasterUnavailable(
+                        f"Master-key peer for {key!r} unreachable after {attempt} attempts"
+                    ) from exc
+                yield self.dht.node.sim.timeout(self.retry_delay)
+
+    def gen_ts(self, key: str):
+        """Generate the next timestamp for ``key`` (process)."""
+        answer = yield from self._call(key, "kts_gen_ts")
+        return answer["result"]
+
+    def last_ts(self, key: str):
+        """Read the last timestamp generated for ``key`` (process)."""
+        answer = yield from self._call(key, "kts_last_ts")
+        return answer["result"]
+
+    def advance_ts(self, key: str, value: int):
+        """Raise the counter of ``key`` to at least ``value`` (process)."""
+        answer = yield from self._call(key, "kts_advance_ts", value=value)
+        return answer["result"]
+
+    def master_of(self, key: str):
+        """Locate the current Master-key peer of ``key`` (process)."""
+        answer = yield from self.dht.lookup(key, key_id=self.ht(key))
+        return answer["node"]

@@ -1,0 +1,15 @@
+"""Measurement helpers: statistics, collectors and result tables."""
+
+from .collector import MetricsCollector
+from .stats import Summary, jains_fairness, percentile, summarize
+from .tables import ResultTable, render_tables
+
+__all__ = [
+    "MetricsCollector",
+    "ResultTable",
+    "Summary",
+    "jains_fairness",
+    "percentile",
+    "render_tables",
+    "summarize",
+]

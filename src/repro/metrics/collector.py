@@ -1,0 +1,75 @@
+"""Measurement collection during simulated experiments."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from ..sim import Simulator
+from .stats import Summary, summarize
+
+
+@dataclass
+class MetricsCollector:
+    """Named counters and measurement series for one experiment run."""
+
+    sim: Optional[Simulator] = None
+    counters: dict[str, float] = field(default_factory=dict)
+    series: dict[str, list[float]] = field(default_factory=dict)
+    annotations: list[tuple[float, str]] = field(default_factory=list)
+
+    # -- counters ----------------------------------------------------------------
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self.counters.get(name, 0.0)
+
+    # -- series ------------------------------------------------------------------------
+
+    def record(self, name: str, value: float) -> None:
+        """Append ``value`` to series ``name``."""
+        self.series.setdefault(name, []).append(float(value))
+
+    def values(self, name: str) -> list[float]:
+        """All recorded values of series ``name``."""
+        return list(self.series.get(name, []))
+
+    def summary(self, name: str) -> Summary:
+        """Summary statistics of series ``name``."""
+        return summarize(self.series.get(name, []))
+
+    # -- timing --------------------------------------------------------------------------
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Measure a simulated-time span and record it in series ``name``.
+
+        Requires the collector to be bound to a simulator; the measured span
+        is whatever simulated time elapsed inside the ``with`` block (e.g.
+        across ``sim.run`` driver calls).
+        """
+        if self.sim is None:
+            raise RuntimeError("timer() requires a collector bound to a Simulator")
+        started = self.sim.now
+        yield
+        self.record(name, self.sim.now - started)
+
+    def annotate(self, text: str) -> None:
+        """Record a timestamped free-form note."""
+        now = self.sim.now if self.sim is not None else 0.0
+        self.annotations.append((now, text))
+
+    # -- export ---------------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """All counters and per-series summaries as a plain dictionary."""
+        return {
+            "counters": dict(self.counters),
+            "series": {name: self.summary(name).as_dict() for name in self.series},
+            "annotations": list(self.annotations),
+        }

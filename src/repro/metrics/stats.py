@@ -1,0 +1,89 @@
+"""Summary statistics for experiment measurements.
+
+Kept dependency-free (no numpy) so the core library stays importable in a
+bare environment; the benchmarks may still use numpy/scipy for their own
+post-processing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction`` percentile (0..1) using linear interpolation."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    interpolated = ordered[low] * (1.0 - weight) + ordered[high] * weight
+    # Clamp against floating-point drift so the result never escapes the data range.
+    return float(min(max(interpolated, ordered[0]), ordered[-1]))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a measurement series."""
+
+    count: int
+    mean: float
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+    total: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form for table rows."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "median": self.median,
+            "p95": self.p95,
+            "max": self.maximum,
+            "total": self.total,
+        }
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values`` (empty input gives zeros)."""
+    data = [float(value) for value in values]
+    if not data:
+        return Summary(count=0, mean=0.0, minimum=0.0, median=0.0, p95=0.0,
+                       maximum=0.0, total=0.0)
+    return Summary(
+        count=len(data),
+        mean=sum(data) / len(data),
+        minimum=min(data),
+        median=percentile(data, 0.5),
+        p95=percentile(data, 0.95),
+        maximum=max(data),
+        total=sum(data),
+    )
+
+
+def jains_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index of a load distribution (1.0 = perfectly even).
+
+    Used by experiment E1 to quantify how evenly timestamping responsibility
+    is spread over the Master-key peers.
+    """
+    if not values:
+        raise ValueError("fairness of an empty sequence")
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    squares = sum(value * value for value in values)
+    return (total * total) / (len(values) * squares)

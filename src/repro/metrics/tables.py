@@ -1,0 +1,103 @@
+"""Paper-style result tables.
+
+Every experiment of the harness produces one or more :class:`ResultTable`
+objects: named columns, one row per parameter setting, and helpers to render
+them as aligned text (what the benchmarks print) or CSV (what EXPERIMENTS.md
+snapshots are generated from).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+@dataclass
+class ResultTable:
+    """A small rectangular table of experiment results."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Append one row, given positionally or by column name."""
+        if values and named:
+            raise ValueError("pass the row either positionally or by name, not both")
+        if named:
+            missing = [column for column in self.columns if column not in named]
+            if missing:
+                raise ValueError(f"missing columns {missing} for table {self.title!r}")
+            row = [named[column] for column in self.columns]
+        else:
+            if len(values) != len(self.columns):
+                raise ValueError(
+                    f"expected {len(self.columns)} values for table {self.title!r}, "
+                    f"got {len(values)}"
+                )
+            row = list(values)
+        self.rows.append(row)
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note rendered below the table."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column."""
+        index = list(self.columns).index(name)
+        return [row[index] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- rendering ----------------------------------------------------------------
+
+    @staticmethod
+    def _format_cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self) -> str:
+        """Aligned plain-text rendering (what the benchmarks print)."""
+        header = [str(column) for column in self.columns]
+        body = [[self._format_cell(value) for value in row] for row in self.rows]
+        widths = [
+            max(len(header[index]), *(len(row[index]) for row in body)) if body else len(header[index])
+            for index in range(len(header))
+        ]
+        buffer = io.StringIO()
+        buffer.write(f"== {self.title} ==\n")
+        buffer.write("  ".join(column.ljust(width) for column, width in zip(header, widths)))
+        buffer.write("\n")
+        buffer.write("  ".join("-" * width for width in widths))
+        buffer.write("\n")
+        for row in body:
+            buffer.write("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+            buffer.write("\n")
+        for note in self.notes:
+            buffer.write(f"note: {note}\n")
+        return buffer.getvalue()
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (no quoting — values are simple scalars)."""
+        lines = [",".join(str(column) for column in self.columns)]
+        lines.extend(",".join(self._format_cell(value) for value in row) for row in self.rows)
+        return "\n".join(lines) + "\n"
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (used for EXPERIMENTS.md)."""
+        header = "| " + " | ".join(str(column) for column in self.columns) + " |"
+        separator = "|" + "|".join(" --- " for _ in self.columns) + "|"
+        body = [
+            "| " + " | ".join(self._format_cell(value) for value in row) + " |"
+            for row in self.rows
+        ]
+        return "\n".join([header, separator, *body]) + "\n"
+
+
+def render_tables(tables: Iterable[ResultTable]) -> str:
+    """Render several tables separated by blank lines."""
+    return "\n".join(table.render() for table in tables)

@@ -1,0 +1,52 @@
+"""Simulated network substrate: addresses, messages, latency, failures, RPC.
+
+This package replaces the Java RMI transport of the original P2P-LTR
+prototype with a deterministic, simulator-driven message layer (see the
+substitution table in ``DESIGN.md``).
+"""
+
+from .address import Address, make_addresses
+from .failures import (
+    BernoulliLoss,
+    FailureSchedule,
+    LossModel,
+    NoLoss,
+    PartitionManager,
+    TargetedLoss,
+)
+from .latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    PairwiseLatency,
+    SiteAwareLatency,
+    UniformLatency,
+    latency_preset,
+)
+from .message import DeliveryReceipt, Message, MessageKind, TrafficStats
+from .rpc import RpcAgent
+from .transport import Network
+
+__all__ = [
+    "Address",
+    "BernoulliLoss",
+    "ConstantLatency",
+    "DeliveryReceipt",
+    "FailureSchedule",
+    "LatencyModel",
+    "LogNormalLatency",
+    "LossModel",
+    "Message",
+    "MessageKind",
+    "Network",
+    "NoLoss",
+    "PairwiseLatency",
+    "PartitionManager",
+    "RpcAgent",
+    "SiteAwareLatency",
+    "TargetedLoss",
+    "TrafficStats",
+    "UniformLatency",
+    "latency_preset",
+    "make_addresses",
+]

@@ -1,0 +1,42 @@
+"""Network addresses for simulated peers.
+
+An :class:`Address` identifies an endpoint registered with the simulated
+:class:`~repro.net.transport.Network`.  Addresses are small immutable value
+objects so they can be stored in routing tables, used as dictionary keys and
+embedded in messages without aliasing concerns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """Identity of a network endpoint.
+
+    Parameters
+    ----------
+    name:
+        Human-readable, unique name of the peer (e.g. ``"peer-17"``).
+    site:
+        Optional label of the site/region the peer lives in.  Latency models
+        may use it to assign larger delays between distinct sites.
+    """
+
+    name: str
+    site: str = "default"
+
+    def __str__(self) -> str:
+        if self.site == "default":
+            return self.name
+        return f"{self.name}@{self.site}"
+
+
+def make_addresses(count: int, prefix: str = "peer", site: Optional[str] = None) -> list[Address]:
+    """Create ``count`` sequentially named addresses (``peer-0``, ``peer-1``, ...)."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    site_name = site if site is not None else "default"
+    return [Address(f"{prefix}-{index}", site_name) for index in range(count)]

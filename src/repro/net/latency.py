@@ -1,0 +1,156 @@
+"""Latency models for the simulated network.
+
+The paper's prototype lets the demonstrator "specify the number of peers or
+network latencies".  A :class:`LatencyModel` reproduces that knob: the
+network asks it for a one-way delay for every message, given the source and
+destination addresses and a dedicated random stream.
+
+All latencies are expressed in **seconds** of simulated time.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from .address import Address
+
+
+class LatencyModel(ABC):
+    """Computes the one-way delay of a message."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random, source: Address, destination: Address) -> float:
+        """Return the delay (seconds) for one message from source to destination."""
+
+    def mean(self) -> float:
+        """Approximate mean one-way latency (used for sizing RPC timeouts)."""
+        return 0.01
+
+
+@dataclass(frozen=True)
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``delay`` seconds."""
+
+    delay: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"delay must be non-negative, got {self.delay}")
+
+    def sample(self, rng: random.Random, source: Address, destination: Address) -> float:
+        return self.delay
+
+    def mean(self) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high]``."""
+
+    low: float = 0.005
+    high: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ValueError(f"invalid latency range [{self.low}, {self.high}]")
+
+    def sample(self, rng: random.Random, source: Address, destination: Address) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed delay typical of wide-area networks.
+
+    ``median`` is the median one-way delay; ``sigma`` controls the spread of
+    the underlying normal distribution (0.5 gives a moderate tail).
+    """
+
+    median: float = 0.02
+    sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.median <= 0 or self.sigma < 0:
+            raise ValueError(f"invalid lognormal parameters ({self.median}, {self.sigma})")
+
+    def sample(self, rng: random.Random, source: Address, destination: Address) -> float:
+        return rng.lognormvariate(math.log(self.median), self.sigma)
+
+    def mean(self) -> float:
+        return self.median * math.exp(self.sigma ** 2 / 2.0)
+
+
+@dataclass(frozen=True)
+class SiteAwareLatency(LatencyModel):
+    """Small delay within a site, larger delay across sites.
+
+    Models the paper's deployment option of running peers "over a single
+    machine or several machines connected together via a network".
+    """
+
+    local: LatencyModel = ConstantLatency(0.001)
+    remote: LatencyModel = UniformLatency(0.02, 0.08)
+
+    def sample(self, rng: random.Random, source: Address, destination: Address) -> float:
+        if source.site == destination.site:
+            return self.local.sample(rng, source, destination)
+        return self.remote.sample(rng, source, destination)
+
+    def mean(self) -> float:
+        return (self.local.mean() + self.remote.mean()) / 2.0
+
+
+@dataclass(frozen=True)
+class PairwiseLatency(LatencyModel):
+    """Explicit per-pair latencies with a fallback model.
+
+    ``table`` maps ``(source.name, destination.name)`` to a constant delay.
+    Pairs absent from the table use ``fallback``.  Useful for reproducing a
+    specific topology in tests.
+    """
+
+    table: Mapping[tuple[str, str], float]
+    fallback: LatencyModel = ConstantLatency(0.01)
+
+    def sample(self, rng: random.Random, source: Address, destination: Address) -> float:
+        delay = self.table.get((source.name, destination.name))
+        if delay is None:
+            return self.fallback.sample(rng, source, destination)
+        return delay
+
+    def mean(self) -> float:
+        if not self.table:
+            return self.fallback.mean()
+        return sum(self.table.values()) / len(self.table)
+
+
+def latency_preset(name: str, scale: float = 1.0) -> LatencyModel:
+    """Named latency presets used throughout the benchmarks.
+
+    Parameters
+    ----------
+    name:
+        One of ``"lan"`` (sub-millisecond), ``"campus"`` (a few ms),
+        ``"wan"`` (tens of ms, heavy tail) or ``"intercontinental"``.
+    scale:
+        Multiplier applied to the preset's nominal delays, used by the
+        response-time sweeps (experiment E5).
+    """
+    presets: dict[str, LatencyModel] = {
+        "lan": ConstantLatency(0.0005 * scale),
+        "campus": UniformLatency(0.001 * scale, 0.005 * scale),
+        "wan": LogNormalLatency(0.02 * scale, 0.5),
+        "intercontinental": LogNormalLatency(0.08 * scale, 0.4),
+    }
+    model = presets.get(name)
+    if model is None:
+        raise ValueError(f"unknown latency preset {name!r}; choose from {sorted(presets)}")
+    return model

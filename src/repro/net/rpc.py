@@ -1,0 +1,253 @@
+"""Remote procedure calls over the simulated network.
+
+The paper's prototype uses Java RMI for peer-to-peer communication; this
+module is its simulated stand-in.  An :class:`RpcAgent` owns an address,
+registers handler functions by name, and can invoke methods on remote agents
+either asynchronously (:meth:`RpcAgent.call`, returning a future to yield
+on) or through the retry-aware generator helper :meth:`RpcAgent.request`.
+
+Handlers may be plain functions (returning their result directly) or
+generator functions (run as simulation processes, so a handler can itself
+perform further RPCs before responding).
+"""
+
+from __future__ import annotations
+
+import inspect
+from itertools import count
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import NodeUnreachable, RequestTimeout, UnknownRpcMethod
+from ..sim import Future, Simulator
+from .address import Address
+from .message import Message, MessageKind
+from .transport import Network
+
+Handler = Callable[..., Any]
+
+
+class RpcAgent:
+    """A network endpoint that can expose and invoke named methods."""
+
+    def __init__(self, sim: Simulator, network: Network, address: Address) -> None:
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self._handlers: Dict[str, Handler] = {}
+        self._pending: Dict[int, Future] = {}
+        self._request_ids = count(1)
+        self._online = False
+        network.register(address, self)
+        self._online = True
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def online(self) -> bool:
+        """``True`` while the agent is registered with the network."""
+        return self._online
+
+    def go_offline(self, *, crash: bool = False) -> None:
+        """Leave the network (gracefully, or abruptly when ``crash=True``).
+
+        Pending outgoing requests are failed immediately with
+        :class:`~repro.errors.NodeUnreachable` so caller processes do not
+        hang until their timeouts when their own peer disappears.
+        """
+        if not self._online:
+            return
+        self._online = False
+        if crash:
+            self.network.crash(self.address)
+        else:
+            self.network.unregister(self.address)
+        pending = list(self._pending.values())
+        self._pending.clear()
+        for future in pending:
+            if not future.triggered:
+                future.fail(NodeUnreachable(f"{self.address} went offline"))
+
+    def go_online(self) -> None:
+        """(Re-)register with the network, e.g. after a simulated restart."""
+        if self._online:
+            return
+        self.network.register(self.address, self)
+        self._online = True
+
+    # -- handler registration -------------------------------------------------
+
+    def expose(self, name: str, handler: Handler) -> None:
+        """Register ``handler`` under ``name`` for incoming requests."""
+        if not callable(handler):
+            raise TypeError(f"handler for {name!r} is not callable")
+        self._handlers[name] = handler
+
+    def expose_object(self, obj: Any, prefix: str = "") -> None:
+        """Expose every public ``rpc_``-prefixed method of ``obj``.
+
+        A method named ``rpc_find_successor`` becomes callable remotely as
+        ``find_successor`` (optionally prefixed).
+        """
+        for attribute_name in dir(obj):
+            if not attribute_name.startswith("rpc_"):
+                continue
+            handler = getattr(obj, attribute_name)
+            if callable(handler):
+                self.expose(prefix + attribute_name[len("rpc_"):], handler)
+
+    def handlers(self) -> list[str]:
+        """Names of all exposed methods."""
+        return sorted(self._handlers)
+
+    # -- outgoing calls ---------------------------------------------------------
+
+    def call(
+        self,
+        destination: Address,
+        method: str,
+        timeout: Optional[float] = None,
+        **arguments: Any,
+    ) -> Future:
+        """Invoke ``method`` on the peer at ``destination``.
+
+        Returns a :class:`~repro.sim.Future` that succeeds with the remote
+        return value, or fails with the remote exception, a
+        :class:`~repro.errors.RequestTimeout` or
+        :class:`~repro.errors.NodeUnreachable`.
+        """
+        future = self.sim.future()
+        if not self._online:
+            future.fail(NodeUnreachable(f"{self.address} is offline"))
+            return future
+
+        request_id = next(self._request_ids)
+        message = Message(
+            source=self.address,
+            destination=destination,
+            kind=MessageKind.REQUEST,
+            method=method,
+            payload=dict(arguments),
+            request_id=request_id,
+            sent_at=self.sim.now,
+        )
+        self._pending[request_id] = future
+        self.network.send(message)
+
+        effective_timeout = timeout if timeout is not None else self.network.default_timeout
+        timeout_event = self.sim.timeout(effective_timeout)
+
+        def on_timeout(_event: Any) -> None:
+            pending = self._pending.pop(request_id, None)
+            if pending is not None and not pending.triggered:
+                pending.fail(
+                    RequestTimeout(
+                        f"{method} to {destination} timed out after {effective_timeout}s"
+                    )
+                )
+
+        timeout_event.add_callback(on_timeout)
+        return future
+
+    def request(
+        self,
+        destination: Address,
+        method: str,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        retry_delay: float = 0.0,
+        **arguments: Any,
+    ):
+        """Generator helper adding retries on timeout; use with ``yield from``.
+
+        Example (inside a simulation process)::
+
+            successor = yield from agent.request(peer, "find_successor", ident=42,
+                                                 retries=2)
+        """
+        attempt = 0
+        while True:
+            try:
+                result = yield self.call(destination, method, timeout=timeout, **arguments)
+                return result
+            except RequestTimeout:
+                attempt += 1
+                if attempt > retries:
+                    raise
+                if retry_delay > 0:
+                    yield self.sim.timeout(retry_delay)
+
+    def notify(self, destination: Address, method: str, **arguments: Any) -> None:
+        """Send a one-way message (no response expected)."""
+        if not self._online:
+            return
+        message = Message(
+            source=self.address,
+            destination=destination,
+            kind=MessageKind.ONEWAY,
+            method=method,
+            payload=dict(arguments),
+            request_id=0,
+            sent_at=self.sim.now,
+        )
+        self.network.send(message)
+
+    # -- incoming messages -------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        """Entry point called by the network when a message arrives."""
+        if not self._online:
+            return
+        if message.kind is MessageKind.RESPONSE:
+            self._handle_response(message)
+        elif message.kind is MessageKind.REQUEST:
+            self._handle_request(message)
+        else:
+            self._handle_oneway(message)
+
+    def _handle_response(self, message: Message) -> None:
+        future = self._pending.pop(message.request_id, None)
+        if future is None or future.triggered:
+            return  # response arrived after the timeout already fired
+        if message.is_error:
+            future.fail(message.payload)
+        else:
+            future.succeed(message.payload)
+
+    def _handle_request(self, message: Message) -> None:
+        handler = self._handlers.get(message.method)
+        if handler is None:
+            self._respond(message, UnknownRpcMethod(message.method), is_error=True)
+            return
+        try:
+            outcome = handler(**(message.payload or {}))
+        except Exception as exc:  # noqa: BLE001 - forwarded to the caller
+            self._respond(message, exc, is_error=True)
+            return
+        if inspect.isgenerator(outcome):
+            process = self.sim.process(outcome, name=f"{self.address}:{message.method}")
+            process.add_callback(lambda event: self._respond_from_event(message, event))
+        else:
+            self._respond(message, outcome)
+
+    def _handle_oneway(self, message: Message) -> None:
+        handler = self._handlers.get(message.method)
+        if handler is None:
+            return
+        try:
+            outcome = handler(**(message.payload or {}))
+        except Exception:  # noqa: BLE001 - one-way failures are dropped
+            return
+        if inspect.isgenerator(outcome):
+            self.sim.process(outcome, name=f"{self.address}:{message.method}")
+
+    def _respond_from_event(self, request: Message, event: Any) -> None:
+        if event.ok:
+            self._respond(request, event.value)
+        else:
+            self._respond(request, event.value, is_error=True)
+
+    def _respond(self, request: Message, payload: Any, *, is_error: bool = False) -> None:
+        if not self._online:
+            return
+        response = request.reply(payload, is_error=is_error, sent_at=self.sim.now)
+        self.network.send(response)

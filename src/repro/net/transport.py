@@ -1,0 +1,149 @@
+"""The simulated message transport.
+
+:class:`Network` is the single switchboard all peers register with.  It
+models per-message latency (via a :class:`~repro.net.latency.LatencyModel`),
+message loss, partitions and peer crashes.  Delivery is asynchronous: a sent
+message is handed to the destination endpoint after the sampled latency has
+elapsed on the simulator clock, provided the destination is still reachable
+at that moment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Protocol
+
+from ..errors import NetworkError
+from ..sim import Simulator
+from .address import Address
+from .failures import LossModel, NoLoss, PartitionManager
+from .latency import ConstantLatency, LatencyModel
+from .message import DeliveryReceipt, Message, TrafficStats
+
+
+class Endpoint(Protocol):
+    """Anything that can receive messages from the network."""
+
+    def deliver(self, message: Message) -> None:
+        """Handle a message delivered by the network."""
+        ...  # pragma: no cover - protocol definition
+
+
+class Network:
+    """Simulated network connecting all peers of an experiment.
+
+    Parameters
+    ----------
+    sim:
+        The simulator driving the experiment.
+    latency:
+        One-way delay model (default: 10 ms constant).
+    loss:
+        Message loss model (default: no loss).
+    default_timeout:
+        Default RPC timeout in seconds, used by the RPC layer when the
+        caller does not specify one.  It defaults to a generous multiple of
+        the mean latency so that timeouts only fire for genuinely lost
+        messages or crashed peers.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        loss: Optional[LossModel] = None,
+        default_timeout: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else ConstantLatency(0.01)
+        self.loss = loss if loss is not None else NoLoss()
+        self.partitions = PartitionManager()
+        self.stats = TrafficStats()
+        if default_timeout is None:
+            default_timeout = max(0.5, self.latency.mean() * 50.0)
+        self.default_timeout = default_timeout
+        self._endpoints: Dict[Address, Endpoint] = {}
+        self._crashed: set[Address] = set()
+        self._latency_rng = sim.rng.stream("net.latency")
+        self._loss_rng = sim.rng.stream("net.loss")
+
+    # -- membership ---------------------------------------------------------
+
+    def register(self, address: Address, endpoint: Endpoint) -> None:
+        """Attach ``endpoint`` to the network under ``address``.
+
+        Re-registering a previously crashed address models a peer re-joining
+        with the same identity.
+        """
+        self._endpoints[address] = endpoint
+        self._crashed.discard(address)
+
+    def unregister(self, address: Address) -> None:
+        """Detach an endpoint (graceful departure). Unknown addresses are ignored."""
+        self._endpoints.pop(address, None)
+
+    def crash(self, address: Address) -> None:
+        """Abruptly remove an endpoint; in-flight messages to it are lost."""
+        self._endpoints.pop(address, None)
+        self._crashed.add(address)
+
+    def is_up(self, address: Address) -> bool:
+        """``True`` if the address currently has a registered endpoint."""
+        return address in self._endpoints
+
+    def has_crashed(self, address: Address) -> bool:
+        """``True`` if the address crashed and has not re-registered since."""
+        return address in self._crashed
+
+    def addresses(self) -> list[Address]:
+        """Addresses of all currently registered endpoints."""
+        return sorted(self._endpoints)
+
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+    # -- sending --------------------------------------------------------------
+
+    def send(self, message: Message) -> DeliveryReceipt:
+        """Send ``message``; returns a receipt describing what happened.
+
+        A message is dropped (never delivered) when the sender is not
+        registered, a partition separates the endpoints, or the loss model
+        says so.  Messages to unknown/crashed destinations are accepted and
+        silently lost — exactly like UDP datagrams to a dead host — so that
+        the RPC layer's timeout logic is exercised, which is what the
+        P2P-LTR failure-handling procedures react to.
+        """
+        self.stats.record_sent(message)
+
+        if message.source not in self._endpoints:
+            self.stats.record_dropped(message)
+            return DeliveryReceipt(message, False, None, "source not registered")
+        if not self.partitions.allows(message.source, message.destination):
+            self.stats.record_dropped(message)
+            return DeliveryReceipt(message, False, None, "partitioned")
+        if self.loss.should_drop(self._loss_rng, message):
+            self.stats.record_dropped(message)
+            return DeliveryReceipt(message, False, None, "lost")
+
+        delay = self.latency.sample(self._latency_rng, message.source, message.destination)
+        if delay < 0:
+            raise NetworkError(f"latency model produced negative delay {delay}")
+        self._schedule_delivery(message, delay)
+        return DeliveryReceipt(message, True, delay)
+
+    def _schedule_delivery(self, message: Message, delay: float) -> None:
+        event = self.sim.event()
+        event._ok = True
+        event._value = message
+        self.sim.schedule(event, delay=delay)
+        event.add_callback(self._deliver)
+
+    def _deliver(self, event: Any) -> None:
+        message: Message = event.value
+        endpoint = self._endpoints.get(message.destination)
+        if endpoint is None:
+            # Destination crashed or left while the message was in flight.
+            self.stats.record_dropped(message)
+            return
+        self.stats.record_delivered(message)
+        endpoint.deliver(message)

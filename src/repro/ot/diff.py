@@ -1,0 +1,55 @@
+"""Diffing: derive a patch from two document states.
+
+Users edit their local copy freely (through the wiki editor, or through the
+synthetic workload generator); when they *save*, the difference between the
+previously saved state and the new state is captured as a
+:class:`~repro.ot.patch.Patch` — the paper's "updates are wrapped together
+in the form of a patch after each document save operation".
+"""
+
+from __future__ import annotations
+
+from difflib import SequenceMatcher
+from typing import Sequence
+
+from .operations import DeleteLine, InsertLine, TextOperation
+from .patch import Patch
+
+
+def diff_lines(before: Sequence[str], after: Sequence[str], *, origin: str = "") -> list[TextOperation]:
+    """Compute line operations transforming ``before`` into ``after``.
+
+    The operations are expressed *sequentially*: each one applies to the
+    state produced by the previous one, so applying them in order to
+    ``before`` yields exactly ``after``.
+    """
+    matcher = SequenceMatcher(a=list(before), b=list(after), autojunk=False)
+    operations: list[TextOperation] = []
+    offset = 0  # cumulative length change already applied to the evolving document
+    for tag, before_start, before_end, after_start, after_end in matcher.get_opcodes():
+        if tag == "equal":
+            continue
+        position = before_start + offset
+        if tag in ("delete", "replace"):
+            for index in range(before_start, before_end):
+                operations.append(DeleteLine(position, before[index], origin=origin))
+        if tag in ("insert", "replace"):
+            for step in range(after_end - after_start):
+                operations.append(
+                    InsertLine(position + step, after[after_start + step], origin=origin)
+                )
+        offset += (after_end - after_start) - (before_end - before_start)
+    return operations
+
+
+def make_patch(
+    before: Sequence[str],
+    after: Sequence[str],
+    *,
+    base_ts: int = 0,
+    author: str = "unknown",
+    comment: str = "",
+) -> Patch:
+    """Build the patch that rewrites ``before`` into ``after``."""
+    operations = diff_lines(before, after, origin=author)
+    return Patch(operations=tuple(operations), base_ts=base_ts, author=author, comment=comment)

@@ -1,0 +1,104 @@
+"""Merging remote validated patches into a replica with local pending edits.
+
+This is the reconciliation step the paper delegates to So6: when the
+Master-key peer rejects a tentative patch because the user peer is behind,
+the peer retrieves the missing patches from the P2P-Log *in continuous
+timestamp order* and must integrate them locally while preserving its own
+not-yet-validated changes.  :func:`integrate_remote_patches` applies each
+remote patch to the replica and transforms the pending local patch against
+it, producing the rebased tentative patch the peer then resubmits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import DivergenceDetected
+from .document import Document
+from .patch import Patch
+from .transform import transform_sequences
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """Outcome of integrating remote patches into a replica."""
+
+    document: Document
+    rebased_local: Optional[Patch]
+    integrated: int
+
+    @property
+    def new_base_ts(self) -> int:
+        """Timestamp of the replica after integration."""
+        return self.document.applied_ts
+
+
+def integrate_remote_patches(
+    document: Document,
+    remote_patches: Sequence[tuple[int, Patch]],
+    local_pending: Optional[Patch] = None,
+) -> MergeResult:
+    """Apply validated remote patches and rebase the local pending patch.
+
+    Parameters
+    ----------
+    document:
+        The local replica; it is modified in place (its ``applied_ts``
+        advances) and also returned inside the result for convenience.
+    remote_patches:
+        ``(ts, patch)`` pairs in strictly increasing, continuous timestamp
+        order starting at ``document.applied_ts + 1``.
+    local_pending:
+        The user's tentative patch, expressed against the replica's current
+        *validated* state (``document.applied_ts``), or ``None`` if there are
+        no local changes.  The replica itself must only contain validated
+        content — tentative edits live in the pending patch, never in
+        ``document.lines`` (that is the contract the P2P-LTR user peer
+        follows).
+
+    Returns
+    -------
+    MergeResult
+        The updated document, the transformed local patch (``None`` if none
+        was supplied) and the number of remote patches integrated.
+    """
+    pending_ops = list(local_pending.operations) if local_pending is not None else []
+    integrated = 0
+    for ts, remote in remote_patches:
+        expected = document.applied_ts + 1
+        if ts != expected:
+            raise DivergenceDetected(
+                f"patch stream for {document.key!r} is not continuous: "
+                f"expected ts {expected}, got {ts}"
+            )
+        if pending_ops:
+            # The remote patch was validated without knowledge of our pending
+            # operations; rebase the pending operations so they still express
+            # the user's intent against the new validated state.
+            pending_ops, _ = transform_sequences(pending_ops, list(remote.operations))
+        document.apply_patch(remote, ts=ts)
+        integrated += 1
+
+    rebased_local = None
+    if local_pending is not None:
+        rebased_local = local_pending.with_operations(pending_ops).with_base(
+            document.applied_ts
+        )
+    return MergeResult(document=document, rebased_local=rebased_local, integrated=integrated)
+
+
+def converge_check(replicas: Sequence[Document]) -> None:
+    """Raise :class:`~repro.errors.DivergenceDetected` unless all replicas match.
+
+    Only replicas that have integrated the same number of patches are
+    compared (a replica that is still behind is not divergent, just late).
+    """
+    by_ts: dict[int, set[tuple[str, ...]]] = {}
+    for replica in replicas:
+        by_ts.setdefault(replica.applied_ts, set()).add(tuple(replica.lines))
+    for ts, contents in by_ts.items():
+        if len(contents) > 1:
+            raise DivergenceDetected(
+                f"replicas at ts {ts} have {len(contents)} distinct contents"
+            )

@@ -1,0 +1,109 @@
+"""Line-based text operations.
+
+The So6 synchronizer used by the paper (refs [13]/[14]) works on sequences
+of lines; its operations are *insert line at position* and *delete line at
+position*.  This module defines those operations plus the identity
+operation produced when two concurrent deletions cancel out during
+transformation.
+
+Positions are zero-based indices into the document's line list.  An insert
+at position ``p`` places the new line *before* the current line ``p`` (so
+``p == len(lines)`` appends).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from ..errors import InvalidOperation
+
+
+@dataclass(frozen=True)
+class InsertLine:
+    """Insert ``line`` so that it becomes line number ``position``."""
+
+    position: int
+    line: str
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        if self.position < 0:
+            raise InvalidOperation(f"insert position must be >= 0, got {self.position}")
+
+    def apply(self, lines: Sequence[str]) -> list[str]:
+        """Return a new line list with the insertion applied."""
+        if self.position > len(lines):
+            raise InvalidOperation(
+                f"insert position {self.position} beyond document of {len(lines)} lines"
+            )
+        result = list(lines)
+        result.insert(self.position, self.line)
+        return result
+
+    def inverse(self) -> "DeleteLine":
+        """The operation undoing this insertion."""
+        return DeleteLine(self.position, self.line, origin=self.origin)
+
+    def describe(self) -> str:
+        """Short human-readable form (used in traces and examples)."""
+        return f"ins@{self.position}:{self.line!r}"
+
+
+@dataclass(frozen=True)
+class DeleteLine:
+    """Delete the line currently at ``position`` (expected to equal ``line``)."""
+
+    position: int
+    line: str = ""
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        if self.position < 0:
+            raise InvalidOperation(f"delete position must be >= 0, got {self.position}")
+
+    def apply(self, lines: Sequence[str]) -> list[str]:
+        """Return a new line list with the deletion applied."""
+        if self.position >= len(lines):
+            raise InvalidOperation(
+                f"delete position {self.position} beyond document of {len(lines)} lines"
+            )
+        result = list(lines)
+        del result[self.position]
+        return result
+
+    def inverse(self) -> "InsertLine":
+        """The operation undoing this deletion."""
+        return InsertLine(self.position, self.line, origin=self.origin)
+
+    def describe(self) -> str:
+        """Short human-readable form (used in traces and examples)."""
+        return f"del@{self.position}:{self.line!r}"
+
+
+@dataclass(frozen=True)
+class NoOp:
+    """The identity operation (result of transforming away a cancelled edit)."""
+
+    origin: str = ""
+
+    def apply(self, lines: Sequence[str]) -> list[str]:
+        """Return the lines unchanged (as a copy, matching the other ops)."""
+        return list(lines)
+
+    def inverse(self) -> "NoOp":
+        """No-op is its own inverse."""
+        return self
+
+    def describe(self) -> str:
+        """Short human-readable form (used in traces and examples)."""
+        return "noop"
+
+
+#: Union of all operation types handled by the engine.
+TextOperation = Union[InsertLine, DeleteLine, NoOp]
+
+
+def is_noop(operation: TextOperation) -> bool:
+    """``True`` for :class:`NoOp` operations."""
+    return isinstance(operation, NoOp)

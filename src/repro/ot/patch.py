@@ -1,0 +1,102 @@
+"""Patches: ordered sequences of operations produced by one editing session.
+
+A patch is the unit the paper timestamps, logs and replicates: "tentative
+update actions performed by users on primary copies are captured after each
+document save operation [and] wrapped together in the form of a patch (a
+sequence of updates)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+from ..errors import InvalidOperation
+from .operations import TextOperation, is_noop
+from .transform import transform_sequences
+
+
+@dataclass(frozen=True)
+class Patch:
+    """An ordered sequence of line operations against a known base state.
+
+    Attributes
+    ----------
+    operations:
+        The operations, in the order the author performed them.  Each
+        operation is expressed against the document state produced by the
+        previous one (standard editing-session semantics).
+    base_ts:
+        Timestamp of the document state the patch was generated against
+        (0 = the empty/initial document).
+    author:
+        Name of the user peer that produced the patch.
+    """
+
+    operations: tuple[TextOperation, ...] = ()
+    base_ts: int = 0
+    author: str = "unknown"
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operations", tuple(self.operations))
+        if self.base_ts < 0:
+            raise InvalidOperation(f"base_ts must be >= 0, got {self.base_ts}")
+
+    # -- basic protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[TextOperation]:
+        return iter(self.operations)
+
+    def is_empty(self) -> bool:
+        """``True`` when the patch contains no effective operation."""
+        return all(is_noop(operation) for operation in self.operations)
+
+    # -- application ----------------------------------------------------------
+
+    def apply(self, lines: Sequence[str]) -> list[str]:
+        """Apply all operations in order to ``lines`` and return the result."""
+        current = list(lines)
+        for operation in self.operations:
+            current = operation.apply(current)
+        return current
+
+    # -- derivation -------------------------------------------------------------
+
+    def with_base(self, base_ts: int) -> "Patch":
+        """A copy of this patch rebased (administratively) onto ``base_ts``."""
+        return replace(self, base_ts=base_ts)
+
+    def with_operations(self, operations: Sequence[TextOperation]) -> "Patch":
+        """A copy of this patch carrying different operations."""
+        return replace(self, operations=tuple(operations))
+
+    def transformed_against(self, other: "Patch") -> "Patch":
+        """This patch transformed to apply *after* the concurrent ``other``.
+
+        Both patches must share the same base state; the result keeps this
+        patch's author and comment and is rebased one step forward.
+        """
+        ours, _theirs = transform_sequences(list(self.operations), list(other.operations))
+        return replace(self, operations=tuple(ours), base_ts=max(self.base_ts, other.base_ts))
+
+    def compose(self, later: "Patch") -> "Patch":
+        """Concatenate ``later`` (expressed against this patch's result) after this one."""
+        return replace(
+            self,
+            operations=self.operations + tuple(later.operations),
+            comment=self.comment or later.comment,
+        )
+
+    def inverse(self) -> "Patch":
+        """The patch undoing this one (operations inverted in reverse order)."""
+        inverted = tuple(operation.inverse() for operation in reversed(self.operations))
+        return replace(self, operations=inverted)
+
+    def describe(self) -> str:
+        """Compact description of the patch, e.g. ``u1[ins@0:'x', del@2:'y']``."""
+        body = ", ".join(operation.describe() for operation in self.operations)
+        return f"{self.author}[{body}]"

@@ -1,0 +1,111 @@
+"""Inclusion transformation for line operations.
+
+``transform(a, b)`` rewrites operation ``a`` — originally defined against
+some document state ``S`` — so that it can be applied *after* the concurrent
+operation ``b`` (also defined against ``S``) and still preserve the intent
+of ``a``.  These are the classic transformation functions of the
+transformational approach (ref [14] of the report, Molli et al.), restricted
+to line granularity as in So6.
+
+Ties between two insertions at the same position are broken
+deterministically by the operations' ``origin`` labels (and line content as
+a final tie-break), so all peers make the same choice — a requirement for
+convergence under the total order provided by P2P-LTR timestamps.
+"""
+
+from __future__ import annotations
+
+from .operations import DeleteLine, InsertLine, NoOp, TextOperation
+
+
+def transform(a: TextOperation, b: TextOperation) -> TextOperation:
+    """Transform ``a`` against concurrent ``b`` (inclusion transformation)."""
+    if isinstance(a, NoOp) or isinstance(b, NoOp):
+        return a
+    if isinstance(a, InsertLine) and isinstance(b, InsertLine):
+        return _insert_vs_insert(a, b)
+    if isinstance(a, InsertLine) and isinstance(b, DeleteLine):
+        return _insert_vs_delete(a, b)
+    if isinstance(a, DeleteLine) and isinstance(b, InsertLine):
+        return _delete_vs_insert(a, b)
+    if isinstance(a, DeleteLine) and isinstance(b, DeleteLine):
+        return _delete_vs_delete(a, b)
+    raise TypeError(f"cannot transform {type(a).__name__} against {type(b).__name__}")
+
+
+def transform_pair(a: TextOperation, b: TextOperation) -> tuple[TextOperation, TextOperation]:
+    """Transform both operations against each other: returns ``(a', b')``."""
+    return transform(a, b), transform(b, a)
+
+
+def _tie_break_before(a: InsertLine, b: InsertLine) -> bool:
+    """``True`` if insertion ``a`` should come before ``b`` at equal positions."""
+    if a.origin != b.origin:
+        return a.origin < b.origin
+    return a.line <= b.line
+
+
+def _insert_vs_insert(a: InsertLine, b: InsertLine) -> TextOperation:
+    if a.position < b.position:
+        return a
+    if a.position > b.position:
+        return InsertLine(a.position + 1, a.line, origin=a.origin)
+    if _tie_break_before(a, b):
+        return a
+    return InsertLine(a.position + 1, a.line, origin=a.origin)
+
+
+def _insert_vs_delete(a: InsertLine, b: DeleteLine) -> TextOperation:
+    if a.position <= b.position:
+        return a
+    return InsertLine(a.position - 1, a.line, origin=a.origin)
+
+
+def _delete_vs_insert(a: DeleteLine, b: InsertLine) -> TextOperation:
+    if a.position < b.position:
+        return a
+    return DeleteLine(a.position + 1, a.line, origin=a.origin)
+
+
+def _delete_vs_delete(a: DeleteLine, b: DeleteLine) -> TextOperation:
+    if a.position < b.position:
+        return a
+    if a.position > b.position:
+        return DeleteLine(a.position - 1, a.line, origin=a.origin)
+    return NoOp(origin=a.origin)
+
+
+def transform_operation_against_sequence(
+    operation: TextOperation, sequence: list[TextOperation]
+) -> TextOperation:
+    """Transform one operation against an already-ordered operation sequence."""
+    transformed = operation
+    for other in sequence:
+        transformed = transform(transformed, other)
+    return transformed
+
+
+def transform_sequences(
+    ours: list[TextOperation], theirs: list[TextOperation]
+) -> tuple[list[TextOperation], list[TextOperation]]:
+    """Transform two concurrent operation sequences against each other.
+
+    Both sequences are defined against the same base state.  The result
+    ``(ours', theirs')`` satisfies the usual convergence property: applying
+    ``theirs`` then ``ours'`` yields the same document as applying ``ours``
+    then ``theirs'`` (transformation property TP1 extended to sequences by
+    the standard pairwise sweep).
+    """
+    ours_prime: list[TextOperation] = []
+    remaining_theirs = list(theirs)
+    for our_op in ours:
+        transformed_our = our_op
+        next_theirs: list[TextOperation] = []
+        for their_op in remaining_theirs:
+            new_our = transform(transformed_our, their_op)
+            new_their = transform(their_op, transformed_our)
+            transformed_our = new_our
+            next_theirs.append(new_their)
+        remaining_theirs = next_theirs
+        ours_prime.append(transformed_our)
+    return ours_prime, remaining_theirs

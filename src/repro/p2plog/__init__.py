@@ -1,0 +1,6 @@
+"""P2P-Log: the highly available, DHT-resident log of timestamped patches."""
+
+from .entry import LogEntry, make_log_key
+from .log import P2PLogClient
+
+__all__ = ["LogEntry", "P2PLogClient", "make_log_key"]

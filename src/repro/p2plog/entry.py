@@ -1,0 +1,69 @@
+"""Log entries: the unit of storage of the P2P-Log.
+
+A :class:`LogEntry` records one validated patch of one document together
+with its continuous timestamp and provenance.  Entries are immutable: the
+log is append-only and a ``(document key, timestamp)`` pair is never
+rewritten, which is what makes the multi-placement replication of the
+P2P-Log trivially consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One timestamped patch stored in the P2P-Log.
+
+    Attributes
+    ----------
+    document_key:
+        The document (page) this patch applies to.
+    ts:
+        The continuous timestamp assigned by the Master-key peer
+        (``ts = previous ts + 1``).
+    patch:
+        The patch payload.  The P2P-Log treats it as opaque; in this
+        reproduction it is a :class:`repro.ot.Patch` most of the time.
+    author:
+        Name of the user peer that produced the patch.
+    published_at:
+        Simulated time at which the Master-key peer published the entry.
+    base_ts:
+        The timestamp of the document state the author edited (i.e. the
+        patch was generated against the state after applying ``base_ts``
+        patches).  Used by the reconciliation engine to transform the patch
+        against concurrent ones.
+    metadata:
+        Optional free-form annotations (experiment ids, sizes, ...).
+    """
+
+    document_key: str
+    ts: int
+    patch: Any
+    author: str = "unknown"
+    published_at: float = 0.0
+    base_ts: Optional[int] = None
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.ts < 1:
+            raise ValueError(f"log timestamps start at 1, got {self.ts}")
+
+    @property
+    def log_key(self) -> str:
+        """The logical ``key + ts`` string hashed by the replication functions."""
+        return make_log_key(self.document_key, self.ts)
+
+    def describe(self) -> str:
+        """One-line human readable description (used in traces)."""
+        return f"{self.document_key}@{self.ts} by {self.author}"
+
+
+def make_log_key(document_key: str, ts: int) -> str:
+    """The canonical ``key + ts`` string used for log placement hashing."""
+    if ts < 1:
+        raise ValueError(f"log timestamps start at 1, got {ts}")
+    return f"{document_key}#{ts}"

@@ -1,0 +1,178 @@
+"""The P2P-Log: highly available storage of timestamped patches.
+
+Every validated patch is placed at ``n = |Hr|`` distinct Log-Peers by
+hashing ``key + ts`` with each replication hash function
+(``Put(h1(key+ts), patch) ... Put(hn(key+ts), patch)``), exactly as in
+Section 2/3 of the paper.  Retrieval tries the placements in order until one
+responds, so a patch stays available as long as at least one of its
+Log-Peers (or their successor replicas) is alive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..chord import HashFunctionFamily
+from ..dht import DhtClient
+from ..errors import KeyNotFound, NodeUnreachable, PatchUnavailable, RequestTimeout
+from .entry import LogEntry, make_log_key
+
+_RETRIEVAL_ERRORS = (KeyNotFound, RequestTimeout, NodeUnreachable)
+
+
+class P2PLogClient:
+    """Publish and retrieve timestamped patches in the DHT."""
+
+    def __init__(
+        self,
+        dht: DhtClient,
+        hash_family: Optional[HashFunctionFamily] = None,
+        *,
+        replication_factor: int = 3,
+        bits: Optional[int] = None,
+    ) -> None:
+        if hash_family is None:
+            effective_bits = bits if bits is not None else getattr(dht, "bits", None)
+            if effective_bits is None:
+                hash_family = HashFunctionFamily.create(replication_factor)
+            else:
+                hash_family = HashFunctionFamily.create(replication_factor, bits=effective_bits)
+        self.dht = dht
+        self.hash_family = hash_family
+        self.published_entries = 0
+        self.retrievals = 0
+        self.fallback_reads = 0
+
+    @property
+    def replication_factor(self) -> int:
+        """Number of independent placements of every log entry (``|Hr|``)."""
+        return len(self.hash_family)
+
+    # -- publication ------------------------------------------------------------
+
+    def publish(self, entry: LogEntry):
+        """Store ``entry`` at all its Log-Peers (process).
+
+        Returns the number of placements successfully written.  Publication
+        is performed placement by placement; a placement whose Log-Peer is
+        unreachable is skipped (its successor replica will be rebuilt by the
+        DHT replication when the ring stabilizes), so publication succeeds
+        as long as at least one placement is written.
+        """
+        log_key = entry.log_key
+        stored = 0
+        for function in self.hash_family:
+            storage_key = function.placement_key(log_key)
+            try:
+                yield from self.dht.put(storage_key, entry, key_id=function(log_key))
+                stored += 1
+            except (RequestTimeout, NodeUnreachable):
+                continue
+        if stored == 0:
+            raise PatchUnavailable(entry.document_key, entry.ts)
+        self.published_entries += 1
+        return stored
+
+    # -- retrieval ---------------------------------------------------------------
+
+    def fetch(self, document_key: str, ts: int):
+        """Retrieve the entry ``(document_key, ts)`` from any placement (process).
+
+        Tries the replication hash functions in order, exactly like the
+        paper's ``get(hi(key+ts))`` retrieval, and raises
+        :class:`~repro.errors.PatchUnavailable` when no placement answers.
+        """
+        log_key = make_log_key(document_key, ts)
+        self.retrievals += 1
+        for index, function in enumerate(self.hash_family):
+            storage_key = function.placement_key(log_key)
+            try:
+                answer = yield from self.dht.get(storage_key, key_id=function(log_key))
+            except _RETRIEVAL_ERRORS:
+                continue
+            if index > 0:
+                self.fallback_reads += 1
+            return answer["value"]
+        raise PatchUnavailable(document_key, ts)
+
+    def fetch_range(self, document_key: str, from_ts: int, to_ts: int, *,
+                    parallel: bool = False):
+        """Retrieve entries ``from_ts .. to_ts`` inclusive, in timestamp order.
+
+        This is the retrieval procedure a user peer runs when the Master-key
+        peer tells it that it is behind: the result is a list of entries in
+        *continuous total order* ready to be integrated by the
+        reconciliation engine.
+
+        The paper fetches one missing patch at a time (``get(hi(key+ts))``);
+        ``parallel=True`` is the ablation discussed in ``DESIGN.md``: all
+        missing timestamps are requested concurrently and the results are
+        re-assembled in timestamp order, trading extra in-flight messages
+        for lower retrieval latency.
+        """
+        if from_ts > to_ts:
+            return []
+        if parallel:
+            entries = yield from self._fetch_range_parallel(document_key, from_ts, to_ts)
+            return entries
+        entries = []
+        for ts in range(from_ts, to_ts + 1):
+            entry = yield from self.fetch(document_key, ts)
+            entries.append(entry)
+        return entries
+
+    def _fetch_range_parallel(self, document_key: str, from_ts: int, to_ts: int):
+        """Concurrent variant of :meth:`fetch_range` (one process per timestamp)."""
+        sim = self._sim()
+        processes = [
+            sim.process(self.fetch(document_key, ts), name=f"fetch:{document_key}@{ts}")
+            for ts in range(from_ts, to_ts + 1)
+        ]
+        yield sim.all_of(processes)
+        return [process.value for process in processes]
+
+    def _sim(self):
+        """The simulator driving the underlying DHT client."""
+        node = getattr(self.dht, "node", None)
+        if node is not None:
+            return node.sim
+        sim = getattr(self.dht, "sim", None)
+        if sim is None:
+            raise RuntimeError("parallel retrieval requires a simulator-backed DHT client")
+        return sim
+
+    def availability(self, document_key: str, ts: int):
+        """Count how many placements of ``(document_key, ts)`` still answer (process).
+
+        Used by experiment E7 to measure patch availability under Log-Peer
+        failures as a function of the replication factor.
+        """
+        log_key = make_log_key(document_key, ts)
+        alive = 0
+        for function in self.hash_family:
+            storage_key = function.placement_key(log_key)
+            try:
+                yield from self.dht.get(storage_key, key_id=function(log_key))
+                alive += 1
+            except _RETRIEVAL_ERRORS:
+                continue
+        return alive
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def placements(self, document_key: str, ts: int) -> list[tuple[str, int]]:
+        """The ``(storage key, ring identifier)`` placements of an entry."""
+        log_key = make_log_key(document_key, ts)
+        return [
+            (function.placement_key(log_key), function(log_key))
+            for function in self.hash_family
+        ]
+
+    def statistics(self) -> dict[str, Any]:
+        """Publication / retrieval counters for experiment reports."""
+        return {
+            "published_entries": self.published_entries,
+            "retrievals": self.retrievals,
+            "fallback_reads": self.fallback_reads,
+            "replication_factor": self.replication_factor,
+        }

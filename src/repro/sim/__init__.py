@@ -1,0 +1,34 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the foundation every other subsystem runs on: the simulated
+network (:mod:`repro.net`), the Chord DHT (:mod:`repro.chord`) and the
+P2P-LTR peers (:mod:`repro.core`) are all implemented as processes scheduled
+by a single :class:`Simulator` instance, which makes experiments reproducible
+and lets the benchmarks sweep latency, churn and failure parameters without
+wall-clock sleeps.
+"""
+
+from .events import AllOf, AnyOf, ConditionValue, Event, Future, Timeout
+from .process import Process, ProcessGenerator
+from .rng import RandomStreams, derive_seed
+from .scheduler import Simulator
+from .sync import FifoLock, Semaphore
+from .tracing import TraceLog, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "ConditionValue",
+    "Event",
+    "FifoLock",
+    "Future",
+    "Process",
+    "ProcessGenerator",
+    "RandomStreams",
+    "Semaphore",
+    "Simulator",
+    "Timeout",
+    "TraceLog",
+    "TraceRecord",
+    "derive_seed",
+]

@@ -1,0 +1,157 @@
+"""Coroutine-style simulation processes.
+
+A *process* is a Python generator that drives a unit of concurrent activity
+inside the simulator: a peer's main loop, an RPC handler, a periodic
+stabilization task.  The generator yields :class:`~repro.sim.events.Event`
+objects; each ``yield`` suspends the process until the event triggers, at
+which point the event's value is sent back into the generator (or its
+exception is thrown into it).
+
+A :class:`Process` is itself an :class:`Event` that triggers when the
+generator terminates, so processes can wait for each other simply by
+yielding them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from ..errors import ProcessInterrupted, SimulationError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Simulator
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulation coroutine.
+
+    Instances are normally created through
+    :meth:`repro.sim.scheduler.Simulator.process` rather than directly.
+    """
+
+    __slots__ = ("generator", "name", "_target", "_interrupts")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: ProcessGenerator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        self._interrupts: list[BaseException] = []
+        # Kick the process off via an immediately scheduled event so that
+        # creation order does not matter within a simulation step.
+        start = Event(sim)
+        start._ok = True
+        start._value = None
+        sim.schedule(start)
+        start.add_callback(self._resume)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the underlying generator has not terminated."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on (if any)."""
+        return self._target
+
+    # -- control ----------------------------------------------------------
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`~repro.errors.ProcessInterrupted` into the process.
+
+        Interrupting a terminated process is a no-op.  The interrupt is
+        delivered asynchronously (on the next simulation step) so that the
+        interrupter's own step completes deterministically first.
+        """
+        if self.triggered:
+            return
+        exc = ProcessInterrupted(cause)
+        wakeup = Event(self.sim)
+        wakeup._ok = False
+        wakeup._value = exc
+        # Deliver directly to this process rather than to the event the
+        # process is waiting on (other processes may wait on that event too).
+        self.sim.schedule(wakeup)
+        wakeup.callbacks = []
+        wakeup.add_callback(lambda _event: self._deliver_interrupt(exc))
+
+    def _deliver_interrupt(self, exc: ProcessInterrupted) -> None:
+        if self.triggered:
+            return
+        target = self._target
+        if target is not None and not target.processed:
+            # Detach from the event we were waiting on: we resume because of
+            # the interrupt, not because the event fired.
+            try:
+                if target.callbacks is not None:
+                    target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already removed
+                pass
+        self._target = None
+        self._step(exc, is_exception=True)
+
+    # -- execution --------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event.ok:
+            self._step(event.value, is_exception=False)
+        else:
+            self._step(event.value, is_exception=True)
+
+    def _step(self, value: Any, *, is_exception: bool) -> None:
+        self.sim._active_process = self
+        try:
+            if is_exception:
+                next_event = self.generator.throw(value)
+            else:
+                next_event = self.generator.send(value)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            self._finish_failed(exc)
+            return
+        finally:
+            self.sim._active_process = None
+
+        if not isinstance(next_event, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {next_event!r}, expected an Event"
+            )
+            self.generator.close()
+            self._finish_failed(error)
+            return
+        self._target = next_event
+        next_event.add_callback(self._resume)
+
+    def _finish_ok(self, value: Any) -> None:
+        if not self.triggered:
+            self.succeed(value)
+
+    def _finish_failed(self, exc: BaseException) -> None:
+        if not self.triggered:
+            if not self.sim.fail_silently:
+                # Record for post-mortem inspection; the exception also
+                # propagates to any process waiting on this one.
+                self.sim.crashed_processes.append((self, exc))
+            self.fail(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "alive" if self.is_alive else "done"
+        return f"<Process {self.name!r} {status}>"

@@ -1,0 +1,180 @@
+"""The discrete-event simulator.
+
+:class:`Simulator` owns the virtual clock and the event queue.  All other
+components of the reproduction (network, Chord nodes, P2P-LTR peers) are
+driven by processes registered with a single simulator instance, which makes
+every experiment fully deterministic for a given random seed.
+
+Typical usage::
+
+    sim = Simulator(seed=7)
+
+    def hello(sim):
+        yield sim.timeout(5)
+        return "done at t=5"
+
+    proc = sim.process(hello(sim))
+    sim.run()
+    assert sim.now == 5 and proc.value == "done at t=5"
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterable, Optional
+
+from ..errors import SimulationDeadlock
+from .events import AllOf, AnyOf, Event, Future, Timeout
+from .process import Process, ProcessGenerator
+from .rng import RandomStreams
+from .tracing import TraceLog
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with a virtual clock.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator's named random streams
+        (:class:`~repro.sim.rng.RandomStreams`).  Two simulators created
+        with the same seed and driven by the same code produce identical
+        event orderings.
+    trace:
+        When ``True``, a :class:`~repro.sim.tracing.TraceLog` records every
+        processed event for debugging and for the experiment reports.
+    fail_silently:
+        When ``True``, exceptions escaping a process do not get recorded in
+        :attr:`crashed_processes`.  Tests covering failure injection enable
+        this to avoid noisy bookkeeping.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        trace: bool = False,
+        fail_silently: bool = False,
+    ) -> None:
+        self._now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = count()
+        self.rng = RandomStreams(seed)
+        self.trace = TraceLog(enabled=trace)
+        self.fail_silently = fail_silently
+        self.crashed_processes: list[tuple[Process, BaseException]] = []
+        self._active_process: Optional[Process] = None
+        self._processed_events = 0
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention across the library)."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events processed since the simulator was created."""
+        return self._processed_events
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event creation helpers -------------------------------------------
+
+    def event(self) -> Event:
+        """Create an untriggered :class:`Event` bound to this simulator."""
+        return Event(self)
+
+    def future(self) -> Future:
+        """Create an untriggered :class:`Future` bound to this simulator."""
+        return Future(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Create an event that fires when all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Create an event that fires when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Register ``generator`` as a new simulation process."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Insert a triggered event into the queue ``delay`` units from now."""
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), event))
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event in the queue."""
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        self._processed_events += 1
+        self.trace.record(when, event)
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the event queue drains.
+            * a number — run until the clock reaches that time (events at
+              exactly that time are processed).
+            * an :class:`Event` — run until that event has been processed;
+              its value is returned (its exception re-raised).  A
+              :class:`~repro.errors.SimulationDeadlock` is raised if the
+              queue drains first.
+        """
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        limit = float("inf") if until is None else float(until)
+        while self._queue and self._queue[0][0] <= limit:
+            self.step()
+        if until is not None:
+            self._now = max(self._now, min(limit, self.peek(), limit))
+            if limit != float("inf"):
+                self._now = limit if self._now < limit else self._now
+        return None
+
+    def _run_until_event(self, until: Event) -> Any:
+        while not until.processed:
+            if not self._queue:
+                raise SimulationDeadlock(
+                    f"event {until!r} never triggered; queue is empty at t={self._now}"
+                )
+            self.step()
+        if until.ok:
+            return until.value
+        raise until.value
+
+    def run_process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Any:
+        """Convenience wrapper: register ``generator`` and run until it finishes."""
+        return self.run(until=self.process(generator, name=name))

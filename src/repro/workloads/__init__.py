@@ -1,0 +1,27 @@
+"""Synthetic workloads: documents, editing scripts and churn schedules."""
+
+from .churn import PROFILES, ChurnProfile, apply_churn_action, generate_churn_schedule
+from .documents import DocumentCorpus, DocumentSpec, generate_corpus, generate_document
+from .edits import (
+    EDIT_KINDS,
+    EditAction,
+    EditWorkload,
+    generate_workload,
+    single_document_contention,
+)
+
+__all__ = [
+    "ChurnProfile",
+    "DocumentCorpus",
+    "DocumentSpec",
+    "EDIT_KINDS",
+    "EditAction",
+    "EditWorkload",
+    "PROFILES",
+    "apply_churn_action",
+    "generate_churn_schedule",
+    "generate_corpus",
+    "generate_document",
+    "generate_workload",
+    "single_document_contention",
+]

@@ -1,0 +1,139 @@
+"""Synthetic collaborative-editing workloads.
+
+An :class:`EditWorkload` is a deterministic script of editing actions —
+which peer edits which document, what the edit does (append, modify or
+delete a line) and how actions are grouped into concurrent "waves".  The
+experiment harness replays these scripts against a P2P-LTR system (or a
+baseline) and measures response times and consistency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+#: The three kinds of line edits the generator produces.
+EDIT_KINDS = ("append", "modify", "delete")
+
+
+@dataclass(frozen=True)
+class EditAction:
+    """One editing action performed by one peer on one document."""
+
+    peer: str
+    document_key: str
+    kind: str
+    line: str
+    wave: int = 0
+
+    def mutate(self, lines: list[str], rng: random.Random) -> list[str]:
+        """Apply this action to a working copy and return the new line list."""
+        result = list(lines)
+        if self.kind == "append" or not result:
+            result.append(self.line)
+            return result
+        position = rng.randrange(len(result))
+        if self.kind == "modify":
+            result[position] = self.line
+        else:  # delete
+            del result[position]
+        return result
+
+
+@dataclass
+class EditWorkload:
+    """A scripted sequence of editing waves."""
+
+    actions: list[EditAction] = field(default_factory=list)
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self) -> Iterator[EditAction]:
+        return iter(self.actions)
+
+    def waves(self) -> list[list[EditAction]]:
+        """Actions grouped by wave index (each wave is issued concurrently)."""
+        grouped: dict[int, list[EditAction]] = {}
+        for action in self.actions:
+            grouped.setdefault(action.wave, []).append(action)
+        return [grouped[wave] for wave in sorted(grouped)]
+
+    def peers(self) -> list[str]:
+        """All peers participating in the workload."""
+        return sorted({action.peer for action in self.actions})
+
+    def documents(self) -> list[str]:
+        """All documents touched by the workload."""
+        return sorted({action.document_key for action in self.actions})
+
+
+def generate_workload(
+    *,
+    peers: Sequence[str],
+    documents: Sequence[str],
+    waves: int,
+    writers_per_wave: int,
+    seed: int = 0,
+    hot_document_bias: float = 0.0,
+) -> EditWorkload:
+    """Generate a deterministic editing workload.
+
+    Parameters
+    ----------
+    peers, documents:
+        The participating peer names and document keys.
+    waves:
+        Number of concurrent editing waves.
+    writers_per_wave:
+        How many distinct peers write in each wave.
+    hot_document_bias:
+        0.0 spreads writes uniformly over documents; 1.0 sends every write
+        to the first document (the paper's concurrent-publishing scenario
+        uses a single hot document).
+    """
+    if writers_per_wave > len(peers):
+        raise ValueError(
+            f"writers_per_wave ({writers_per_wave}) exceeds available peers ({len(peers)})"
+        )
+    if not documents:
+        raise ValueError("at least one document is required")
+    if not 0.0 <= hot_document_bias <= 1.0:
+        raise ValueError(f"hot_document_bias must be in [0, 1], got {hot_document_bias}")
+
+    rng = random.Random(seed)
+    workload = EditWorkload(seed=seed)
+    for wave in range(waves):
+        writers = rng.sample(list(peers), writers_per_wave)
+        for writer in writers:
+            if rng.random() < hot_document_bias:
+                document_key = documents[0]
+            else:
+                document_key = rng.choice(list(documents))
+            kind = rng.choices(EDIT_KINDS, weights=(0.6, 0.3, 0.1))[0]
+            line = (
+                f"[wave {wave}] {writer} writes about "
+                f"{rng.choice(['merging', 'logging', 'routing', 'editing', 'syncing'])}"
+            )
+            workload.actions.append(
+                EditAction(peer=writer, document_key=document_key, kind=kind,
+                           line=line, wave=wave)
+            )
+    return workload
+
+
+def single_document_contention(
+    *, peers: Sequence[str], waves: int, writers_per_wave: int, seed: int = 0,
+    document_key: str = "xwiki:hot-page",
+) -> EditWorkload:
+    """The paper's scenario E2 workload: everyone hammers one document."""
+    return generate_workload(
+        peers=peers,
+        documents=[document_key],
+        waves=waves,
+        writers_per_wave=writers_per_wave,
+        seed=seed,
+        hot_document_bias=1.0,
+    )

@@ -1,0 +1,112 @@
+"""Tests for the comparison baselines (centralized reconciler, LWW)."""
+
+import pytest
+
+from repro.baselines import CentralSystem, LwwSystem, LwwTag
+from repro.errors import MasterUnavailable
+from repro.net import ConstantLatency
+
+
+# ---------------------------------------------------------------------------
+# centralized reconciler
+# ---------------------------------------------------------------------------
+
+
+def build_central(peer_count=4, **kwargs):
+    return CentralSystem(peer_count=peer_count, seed=61,
+                         latency=ConstantLatency(0.004), **kwargs)
+
+
+def test_central_single_writer_sequence():
+    system = build_central()
+    for index in range(3):
+        result = system.edit_and_commit("peer-0", "doc", f"version {index}")
+        assert result["ts"] == index + 1
+    assert system.reconciler.handle_last_ts("doc") == 3
+    assert system.reconciler.statistics()["validations"] == 3
+
+
+def test_central_concurrent_writers_are_serialized():
+    system = build_central(peer_count=6)
+    results = system.run_concurrent_commits(
+        [(f"peer-{index}", "doc", f"text {index}") for index in range(5)]
+    )
+    assert sorted(result["ts"] for result in results) == [1, 2, 3, 4, 5]
+    assert system.reconciler.statistics()["rejections"] >= 1
+
+
+def test_central_replicas_converge_after_sync():
+    system = build_central(peer_count=4)
+    system.run_concurrent_commits(
+        [(f"peer-{index}", "doc", f"text {index}") for index in range(3)]
+    )
+    for name, client in system.clients.items():
+        system.sim.run(until=system.sim.process(client.sync("doc")))
+    contents = {tuple(client.document("doc").lines) for client in system.clients.values()}
+    assert len(contents) == 1
+    assert len(next(iter(contents))) == 3
+
+
+def test_central_commit_without_changes_is_noop():
+    system = build_central()
+    client = system.client("peer-0")
+    assert system.sim.run(until=system.sim.process(client.commit("doc"))) is None
+
+
+def test_central_reconciler_is_single_point_of_failure():
+    system = build_central()
+    system.edit_and_commit("peer-0", "doc", "before crash")
+    system.crash_reconciler()
+    with pytest.raises(MasterUnavailable):
+        system.edit_and_commit("peer-1", "doc", "after crash")
+    # recovery restores service (warm restart keeps the log)
+    system.reconciler.recover()
+    result = system.edit_and_commit("peer-1", "doc", "after recovery")
+    assert result["ts"] == 2
+
+
+def test_central_working_lines_include_pending():
+    system = build_central()
+    client = system.client("peer-0")
+    client.edit("doc", "draft")
+    assert client.working_lines("doc") == ["draft"]
+
+
+# ---------------------------------------------------------------------------
+# last-writer-wins
+# ---------------------------------------------------------------------------
+
+
+def test_lww_tag_ordering():
+    early = LwwTag(1.0, "a")
+    late = LwwTag(2.0, "a")
+    assert late > early
+    assert LwwTag(1.0, "b") > LwwTag(1.0, "a")  # writer id breaks ties
+
+
+def test_lww_converges_to_last_write():
+    system = LwwSystem.build(peer_count=4, seed=3, latency=ConstantLatency(0.002))
+    system.write("peer-0", "doc", "from peer-0")
+    system.settle(0.5)
+    system.write("peer-1", "doc", "from peer-1")
+    system.settle(0.5)
+    assert system.converged("doc")
+    assert system.surviving_content("doc") == "from peer-1"
+
+
+def test_lww_concurrent_writes_lose_updates():
+    system = LwwSystem.build(peer_count=5, seed=5, latency=ConstantLatency(0.002))
+    for index in range(4):
+        system.write(f"peer-{index}", "doc", f"from peer-{index}")
+    system.settle(1.0)
+    assert system.converged("doc")
+    # only one contribution survives, the other three are lost
+    assert system.lost_updates("doc") == 3
+    surviving = system.surviving_content("doc")
+    assert sum(f"from peer-{index}" == surviving for index in range(4)) == 1
+
+
+def test_lww_read_of_unknown_key_is_empty():
+    system = LwwSystem.build(peer_count=2, seed=7, latency=ConstantLatency(0.002))
+    assert system.peers["peer-0"].read("nothing") == ""
+    assert system.lost_updates("nothing") == 0

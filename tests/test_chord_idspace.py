@@ -1,0 +1,179 @@
+"""Unit tests for Chord identifier-space arithmetic and hashing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chord import (
+    HashFunctionFamily,
+    SaltedHash,
+    clockwise_distance,
+    finger_start,
+    hash_to_id,
+    in_interval_closed_open,
+    in_interval_open,
+    in_interval_open_closed,
+    key_distribution,
+    timestamp_hash,
+)
+
+
+# ---------------------------------------------------------------------------
+# interval predicates
+# ---------------------------------------------------------------------------
+
+
+def test_open_interval_simple():
+    assert in_interval_open(5, 2, 8)
+    assert not in_interval_open(2, 2, 8)
+    assert not in_interval_open(8, 2, 8)
+    assert not in_interval_open(9, 2, 8)
+
+
+def test_open_interval_wrapping():
+    # arc from 200 wrapping through 0 to 50
+    assert in_interval_open(250, 200, 50)
+    assert in_interval_open(10, 200, 50)
+    assert not in_interval_open(100, 200, 50)
+    assert not in_interval_open(200, 200, 50)
+    assert not in_interval_open(50, 200, 50)
+
+
+def test_open_interval_degenerate_full_ring():
+    assert in_interval_open(1, 7, 7)
+    assert not in_interval_open(7, 7, 7)
+
+
+def test_open_closed_interval_simple_and_wrap():
+    assert in_interval_open_closed(8, 2, 8)
+    assert not in_interval_open_closed(2, 2, 8)
+    assert in_interval_open_closed(50, 200, 50)
+    assert in_interval_open_closed(10, 200, 50)
+    assert not in_interval_open_closed(200, 200, 50)
+
+
+def test_open_closed_degenerate_covers_everything():
+    assert in_interval_open_closed(0, 5, 5)
+    assert in_interval_open_closed(5, 5, 5)
+    assert in_interval_open_closed(123, 5, 5)
+
+
+def test_closed_open_interval():
+    assert in_interval_closed_open(2, 2, 8)
+    assert not in_interval_closed_open(8, 2, 8)
+    assert in_interval_closed_open(200, 200, 50)
+    assert not in_interval_closed_open(50, 200, 50)
+    assert in_interval_closed_open(7, 7, 7)
+
+
+@given(
+    x=st.integers(min_value=0, max_value=255),
+    a=st.integers(min_value=0, max_value=255),
+    b=st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=300)
+def test_interval_predicates_partition_the_ring(x, a, b):
+    """(a, b] and (b, a] partition the ring minus nothing (when a != b)."""
+    if a == b:
+        return
+    in_first = in_interval_open_closed(x, a, b)
+    in_second = in_interval_open_closed(x, b, a)
+    assert in_first != in_second  # exactly one of the two arcs contains x
+
+
+@given(
+    x=st.integers(min_value=0, max_value=255),
+    a=st.integers(min_value=0, max_value=255),
+    b=st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=300)
+def test_open_interval_is_subset_of_open_closed(x, a, b):
+    if in_interval_open(x, a, b):
+        assert in_interval_open_closed(x, a, b)
+
+
+def test_clockwise_distance():
+    assert clockwise_distance(3, 10, bits=8) == 7
+    assert clockwise_distance(10, 3, bits=8) == 256 - 7
+    assert clockwise_distance(5, 5, bits=8) == 0
+
+
+def test_finger_start_values_and_bounds():
+    assert finger_start(0, 0, 8) == 1
+    assert finger_start(0, 7, 8) == 128
+    assert finger_start(200, 7, 8) == (200 + 128) % 256
+    with pytest.raises(ValueError):
+        finger_start(0, 8, 8)
+    with pytest.raises(ValueError):
+        finger_start(0, -1, 8)
+
+
+# ---------------------------------------------------------------------------
+# hashing
+# ---------------------------------------------------------------------------
+
+
+def test_hash_to_id_is_stable_and_in_range():
+    value = hash_to_id("document-1", bits=16)
+    assert value == hash_to_id("document-1", bits=16)
+    assert 0 <= value < 2 ** 16
+
+
+def test_hash_to_id_salt_gives_different_placements():
+    assert hash_to_id("doc", bits=32, salt="h1") != hash_to_id("doc", bits=32, salt="h2")
+
+
+def test_hash_to_id_invalid_bits():
+    with pytest.raises(ValueError):
+        hash_to_id("x", bits=0)
+
+
+def test_hash_to_id_full_width_matches_sha1_width():
+    value = hash_to_id("x", bits=160)
+    assert 0 <= value < 2 ** 160
+
+
+def test_salted_hash_callable_and_placement_key():
+    h1 = SaltedHash("hr1", bits=16)
+    assert h1("doc:3") == hash_to_id("doc:3", bits=16, salt="hr1")
+    assert h1.placement_key("doc:3") == "hr1:doc:3"
+
+
+def test_hash_family_creation_and_placements():
+    family = HashFunctionFamily.create(3, bits=16)
+    assert len(family) == 3
+    placements = family.placements("doc:7")
+    assert len(placements) == 3
+    identifiers = [identifier for _fn, identifier in placements]
+    assert len(set(identifiers)) == 3  # pairwise distinct with overwhelming probability
+
+
+def test_hash_family_requires_at_least_one_function():
+    with pytest.raises(ValueError):
+        HashFunctionFamily.create(0)
+
+
+def test_timestamp_hash_named_ht():
+    ht = timestamp_hash(bits=16)
+    assert ht.name == "ht"
+    assert 0 <= ht("any-document") < 2 ** 16
+
+
+def test_key_distribution_covers_all_keys():
+    node_ids = [hash_to_id(f"peer-{i}", bits=16) for i in range(8)]
+    keys = [f"doc-{i}" for i in range(200)]
+    counts = key_distribution(keys, node_ids, bits=16)
+    assert sum(counts.values()) == 200
+    assert set(counts) == set(node_ids)
+
+
+def test_key_distribution_requires_nodes():
+    with pytest.raises(ValueError):
+        key_distribution(["a"], [])
+
+
+@given(st.text(min_size=1, max_size=30))
+@settings(max_examples=100)
+def test_key_distribution_singleton_node_owns_everything(key):
+    counts = key_distribution([key], [42], bits=16)
+    assert counts[42] == 1

@@ -1,0 +1,124 @@
+"""Direct tests of the Master-key peer service (repro.core.master).
+
+The protocol-level behaviour is covered by ``test_core_protocol.py``; these
+tests target the MasterService internals the paper describes explicitly:
+per-document serialization of validations, the behind/ok decision, the
+publish-before-ack ordering and the bookkeeping used by the experiments.
+"""
+
+import pytest
+
+from repro.core import LtrConfig, LtrSystem, MasterService
+from repro.core.protocol import ValidationResult
+from repro.net import ConstantLatency
+from repro.ot import InsertLine, Patch
+
+
+def build_system(peers=6, seed=95, **ltr_overrides):
+    system = LtrSystem(
+        ltr_config=LtrConfig(**ltr_overrides) if ltr_overrides else LtrConfig(),
+        seed=seed,
+        latency=ConstantLatency(0.004),
+    )
+    system.bootstrap(peers)
+    return system
+
+
+def make_patch(author, text, base_ts=0):
+    return Patch((InsertLine(0, text),), base_ts=base_ts, author=author)
+
+
+def run_validation(system, master, key, ts, patch, author):
+    handler = master.validate_and_publish(key=key, ts=ts, patch=patch, author=author)
+    payload = system.sim.run(until=system.sim.process(handler))
+    return ValidationResult.from_payload(payload)
+
+
+def test_unattached_master_service_raises():
+    service = MasterService()
+    with pytest.raises(RuntimeError):
+        _ = service.hash_family
+
+
+def test_validate_ok_then_behind():
+    system = build_system()
+    key = "xwiki:direct"
+    master = system.master_service(key)
+    first = run_validation(system, master, key, 1, make_patch("u1", "a"), "u1")
+    assert first.accepted and first.ts == 1
+    assert first.replicas == system.ltr_config.log_replication_factor
+    # a stale proposal (same ts again) is answered with "behind"
+    stale = run_validation(system, master, key, 1, make_patch("u2", "b"), "u2")
+    assert not stale.accepted
+    assert stale.last_ts == 1
+    # a proposal too far in the future is also rejected
+    future = run_validation(system, master, key, 5, make_patch("u2", "b"), "u2")
+    assert not future.accepted and future.last_ts == 1
+    stats = master.statistics()
+    assert stats["validations_ok"] == 1
+    assert stats["validations_behind"] == 2
+    assert master.keys_mastered() == {key: 1}
+
+
+def test_concurrent_validations_are_serialized_per_document():
+    system = build_system()
+    key = "xwiki:serialized"
+    master = system.master_service(key)
+    # two peers propose ts=1 at the same simulated instant: exactly one wins
+    first = system.sim.process(
+        master.validate_and_publish(key=key, ts=1, patch=make_patch("u1", "a"), author="u1")
+    )
+    second = system.sim.process(
+        master.validate_and_publish(key=key, ts=1, patch=make_patch("u2", "b"), author="u2")
+    )
+    results = [
+        ValidationResult.from_payload(system.sim.run(until=first)),
+        ValidationResult.from_payload(system.sim.run(until=second)),
+    ]
+    accepted = [result for result in results if result.accepted]
+    rejected = [result for result in results if not result.accepted]
+    assert len(accepted) == 1 and accepted[0].ts == 1
+    assert len(rejected) == 1 and rejected[0].last_ts == 1
+
+
+def test_distinct_documents_use_distinct_locks():
+    system = build_system()
+    key_a, key_b = "xwiki:lock-a", "xwiki:lock-b"
+    master_a = system.master_service(key_a)
+    result_a = run_validation(system, master_a, key_a, 1, make_patch("u1", "a"), "u1")
+    master_b = system.master_service(key_b)
+    result_b = run_validation(system, master_b, key_b, 1, make_patch("u1", "b"), "u1")
+    assert result_a.accepted and result_b.accepted
+    assert master_a._lock_for(key_a) is not master_a._lock_for(key_b)
+
+
+def test_publish_before_ack_writes_log_before_advancing_counter():
+    system = build_system()
+    key = "xwiki:ordering"
+    master = system.master_service(key)
+    result = run_validation(system, master, key, 1, make_patch("u1", "a"), "u1")
+    assert result.accepted
+    # the published entry is retrievable and the counter matches it
+    entries = system.fetch_log(key, 1, 1)
+    assert len(entries) == 1
+    assert entries[0].author == "u1"
+    assert system.last_ts(key) == 1
+
+
+def test_ack_before_publish_variant_still_converges():
+    system = build_system(publish_before_ack=False)
+    key = "xwiki:variant"
+    system.edit_and_commit("peer-0", key, "v1")
+    system.edit_and_commit("peer-1", key, "v2")
+    report = system.check_consistency(key)
+    assert report.converged and report.last_ts == 2
+
+
+def test_handle_last_ts_matches_authority():
+    system = build_system()
+    key = "xwiki:last"
+    assert system.master_service(key).handle_last_ts(key) == 0
+    system.edit_and_commit("peer-0", key, "content")
+    master = system.master_service(key)
+    assert master.handle_last_ts(key) == 1
+    assert master._authority().last_ts(key) == 1

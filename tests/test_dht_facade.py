@@ -1,0 +1,161 @@
+"""Tests for the DHT client facade (repro.dht) and parallel log retrieval."""
+
+import pytest
+
+from repro.chord import ChordConfig, ChordRing, HashFunctionFamily, hash_to_id
+from repro.core import LtrConfig, LtrSystem
+from repro.dht import ChordDhtClient, LocalDht
+from repro.errors import KeyNotFound
+from repro.net import ConstantLatency
+from repro.p2plog import LogEntry, P2PLogClient
+from repro.sim import Simulator
+
+BITS = 32
+
+
+def build_ring(node_count=6, seed=71):
+    ring = ChordRing(
+        config=ChordConfig(bits=BITS, stabilize_interval=0.2, fix_fingers_interval=0.3,
+                           check_predecessor_interval=0.4),
+        seed=seed,
+        latency=ConstantLatency(0.002),
+    )
+    ring.bootstrap(node_count)
+    return ring
+
+
+# ---------------------------------------------------------------------------
+# LocalDht
+# ---------------------------------------------------------------------------
+
+
+def test_local_dht_put_get_remove_cycle():
+    sim = Simulator()
+    dht = LocalDht(sim)
+    sim.run(until=sim.process(dht.put("k", 41)))
+    answer = sim.run(until=sim.process(dht.get("k")))
+    assert answer["value"] == 41 and answer["hops"] == 0
+    assert "k" in dht and len(dht) == 1
+    removed = sim.run(until=sim.process(dht.remove("k")))
+    assert removed["removed"] is True
+    with pytest.raises(KeyNotFound):
+        sim.run(until=sim.process(dht.get("k")))
+    assert dht.snapshot() == {}
+
+
+def test_local_dht_operation_delay_advances_clock():
+    sim = Simulator()
+    dht = LocalDht(sim, operation_delay=0.25)
+    sim.run(until=sim.process(dht.put("k", 1)))
+    sim.run(until=sim.process(dht.get("k")))
+    assert sim.now == pytest.approx(0.5)
+    assert dht.operations == 2
+
+
+def test_local_dht_call_owner_uses_registered_handlers():
+    sim = Simulator()
+    dht = LocalDht(sim)
+    dht.expose("ping", lambda value: value * 2)
+    answer = sim.run(until=sim.process(dht.call_owner("any", "ping", value=4)))
+    assert answer["result"] == 8
+    with pytest.raises(KeyNotFound):
+        sim.run(until=sim.process(dht.call_owner("any", "missing")))
+
+
+def test_local_dht_lookup_reports_itself():
+    sim = Simulator()
+    dht = LocalDht(sim, name="the-reconciler")
+    answer = sim.run(until=sim.process(dht.lookup("whatever")))
+    assert answer["node"] == "the-reconciler"
+
+
+# ---------------------------------------------------------------------------
+# ChordDhtClient
+# ---------------------------------------------------------------------------
+
+
+def test_chord_client_put_get_and_hash_key():
+    ring = build_ring()
+    client = ChordDhtClient(ring.gateway())
+    assert client.bits == BITS
+    assert client.hash_key("doc") == hash_to_id("doc", BITS)
+    assert client.hash_key("doc", salt="ht") == hash_to_id("doc", BITS, salt="ht")
+    ring.sim.run(until=ring.sim.process(client.put("doc", "value")))
+    answer = ring.sim.run(until=ring.sim.process(client.get("doc")))
+    assert answer["value"] == "value"
+    owner = ring.sim.run(until=ring.sim.process(client.lookup("doc")))
+    assert owner["node"] == ring.responsible_node("doc").ref
+
+
+def test_chord_client_call_owner_reaches_responsible_peer():
+    ring = build_ring()
+    # expose a handler on every node so whichever owner is hit can answer
+    for node in ring.live_nodes():
+        node.rpc.expose("whoami", lambda name=node.address.name: name)
+    client = ChordDhtClient(ring.gateway())
+    answer = ring.sim.run(until=ring.sim.process(client.call_owner("some-key", "whoami")))
+    assert answer["result"] == ring.responsible_node("some-key").address.name
+    assert answer["owner"] == ring.responsible_node("some-key").ref
+
+
+def test_chord_client_remove_round_trip():
+    ring = build_ring()
+    client = ChordDhtClient(ring.gateway())
+    ring.sim.run(until=ring.sim.process(client.put("gone", 1)))
+    removed = ring.sim.run(until=ring.sim.process(client.remove("gone")))
+    assert removed["removed"] is True
+
+
+# ---------------------------------------------------------------------------
+# parallel retrieval (P2P-Log ablation)
+# ---------------------------------------------------------------------------
+
+
+def _publish_entries(sim, log, count):
+    for ts in range(1, count + 1):
+        entry = LogEntry(document_key="doc", ts=ts, patch=f"patch-{ts}")
+        sim.run(until=sim.process(log.publish(entry)))
+
+
+def test_parallel_fetch_range_matches_sequential_order():
+    sim = Simulator()
+    log = P2PLogClient(LocalDht(sim), HashFunctionFamily.create(2, bits=BITS))
+    _publish_entries(sim, log, 6)
+    sequential = sim.run(until=sim.process(log.fetch_range("doc", 1, 6)))
+    parallel = sim.run(until=sim.process(log.fetch_range("doc", 1, 6, parallel=True)))
+    assert parallel == sequential
+    assert [entry.ts for entry in parallel] == [1, 2, 3, 4, 5, 6]
+
+
+def test_parallel_fetch_range_is_faster_over_the_ring():
+    ring = build_ring(node_count=8, seed=73)
+    family = HashFunctionFamily.create(2, bits=BITS)
+    log = P2PLogClient(ChordDhtClient(ring.gateway()), family)
+    _publish_entries(ring.sim, log, 8)
+
+    start = ring.sim.now
+    ring.sim.run(until=ring.sim.process(log.fetch_range("doc", 1, 8)))
+    sequential_time = ring.sim.now - start
+
+    start = ring.sim.now
+    ring.sim.run(until=ring.sim.process(log.fetch_range("doc", 1, 8, parallel=True)))
+    parallel_time = ring.sim.now - start
+
+    assert parallel_time < sequential_time
+
+
+def test_parallel_retrieval_option_in_full_protocol():
+    system = LtrSystem(
+        ltr_config=LtrConfig(parallel_retrieval=True),
+        seed=77,
+        latency=ConstantLatency(0.004),
+    )
+    system.bootstrap(8)
+    key = "xwiki:parallel"
+    for index in range(4):
+        system.edit_and_commit("peer-0", key, f"revision {index}")
+    sync = system.sync("peer-3", key)
+    assert sync.retrieved_patches == 4
+    result = system.edit_and_commit("peer-5", key, "late contribution")
+    assert result.ts == 5
+    assert system.check_consistency(key).converged

@@ -1,0 +1,450 @@
+"""Unit tests for the simulated network substrate (repro.net)."""
+
+import random
+
+import pytest
+
+from repro.errors import NodeUnreachable, RequestTimeout, UnknownRpcMethod
+from repro.net import (
+    Address,
+    BernoulliLoss,
+    ConstantLatency,
+    FailureSchedule,
+    LogNormalLatency,
+    Message,
+    MessageKind,
+    Network,
+    NoLoss,
+    PairwiseLatency,
+    PartitionManager,
+    RpcAgent,
+    SiteAwareLatency,
+    TargetedLoss,
+    UniformLatency,
+    latency_preset,
+    make_addresses,
+)
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Addresses
+# ---------------------------------------------------------------------------
+
+
+def test_make_addresses_names_and_count():
+    addresses = make_addresses(3, prefix="node")
+    assert [a.name for a in addresses] == ["node-0", "node-1", "node-2"]
+    assert all(a.site == "default" for a in addresses)
+
+
+def test_make_addresses_negative_count_rejected():
+    with pytest.raises(ValueError):
+        make_addresses(-1)
+
+
+def test_address_str_includes_site_when_not_default():
+    assert str(Address("p", "eu")) == "p@eu"
+    assert str(Address("p")) == "p"
+
+
+# ---------------------------------------------------------------------------
+# Latency models
+# ---------------------------------------------------------------------------
+
+
+def test_constant_latency():
+    model = ConstantLatency(0.05)
+    rng = random.Random(0)
+    a, b = Address("a"), Address("b")
+    assert model.sample(rng, a, b) == 0.05
+    assert model.mean() == 0.05
+
+
+def test_constant_latency_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantLatency(-0.1)
+
+
+def test_uniform_latency_within_bounds():
+    model = UniformLatency(0.01, 0.02)
+    rng = random.Random(0)
+    a, b = Address("a"), Address("b")
+    samples = [model.sample(rng, a, b) for _ in range(100)]
+    assert all(0.01 <= s <= 0.02 for s in samples)
+
+
+def test_uniform_latency_invalid_range():
+    with pytest.raises(ValueError):
+        UniformLatency(0.02, 0.01)
+
+
+def test_lognormal_latency_positive():
+    model = LogNormalLatency(0.02, 0.5)
+    rng = random.Random(1)
+    a, b = Address("a"), Address("b")
+    assert all(model.sample(rng, a, b) > 0 for _ in range(50))
+    assert model.mean() > 0.02  # lognormal mean exceeds the median
+
+
+def test_site_aware_latency_distinguishes_sites():
+    model = SiteAwareLatency(local=ConstantLatency(0.001), remote=ConstantLatency(0.1))
+    rng = random.Random(0)
+    same = model.sample(rng, Address("a", "s1"), Address("b", "s1"))
+    cross = model.sample(rng, Address("a", "s1"), Address("b", "s2"))
+    assert same == 0.001
+    assert cross == 0.1
+
+
+def test_pairwise_latency_table_and_fallback():
+    model = PairwiseLatency({("a", "b"): 0.5}, fallback=ConstantLatency(0.01))
+    rng = random.Random(0)
+    assert model.sample(rng, Address("a"), Address("b")) == 0.5
+    assert model.sample(rng, Address("b"), Address("a")) == 0.01
+
+
+def test_latency_presets_known_and_unknown():
+    for name in ("lan", "campus", "wan", "intercontinental"):
+        assert latency_preset(name).mean() > 0
+    with pytest.raises(ValueError):
+        latency_preset("dialup")
+
+
+def test_latency_preset_scaling():
+    assert latency_preset("lan", scale=10).mean() == pytest.approx(
+        10 * latency_preset("lan").mean()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Loss models and partitions
+# ---------------------------------------------------------------------------
+
+
+def _dummy_message():
+    return Message(Address("a"), Address("b"), MessageKind.ONEWAY, "ping")
+
+
+def test_no_loss_never_drops():
+    assert not NoLoss().should_drop(random.Random(0), _dummy_message())
+
+
+def test_bernoulli_loss_statistics():
+    model = BernoulliLoss(0.5)
+    rng = random.Random(0)
+    drops = sum(model.should_drop(rng, _dummy_message()) for _ in range(1000))
+    assert 400 < drops < 600
+
+
+def test_bernoulli_loss_validation():
+    with pytest.raises(ValueError):
+        BernoulliLoss(1.5)
+
+
+def test_targeted_loss_direction():
+    message = _dummy_message()  # a -> b
+    rng = random.Random(0)
+    assert TargetedLoss(frozenset({"b"}), 1.0, "to").should_drop(rng, message)
+    assert not TargetedLoss(frozenset({"b"}), 1.0, "from").should_drop(rng, message)
+    assert TargetedLoss(frozenset({"a"}), 1.0, "from").should_drop(rng, message)
+    assert TargetedLoss(frozenset({"a"}), 1.0, "both").should_drop(rng, message)
+    assert not TargetedLoss(frozenset({"c"}), 1.0, "both").should_drop(rng, message)
+
+
+def test_targeted_loss_validation():
+    with pytest.raises(ValueError):
+        TargetedLoss(frozenset({"a"}), 1.0, "sideways")
+
+
+def test_partition_manager_split_and_heal():
+    manager = PartitionManager()
+    a, b, c = Address("a"), Address("b"), Address("c")
+    assert manager.allows(a, b)
+    manager.split([[a], [b]])
+    assert manager.active
+    assert not manager.allows(a, b)
+    assert manager.allows(a, a)
+    # c is in the implicit extra group: cannot reach a or b
+    assert not manager.allows(a, c)
+    manager.heal()
+    assert manager.allows(a, b)
+
+
+def test_failure_schedule_ordering_and_queries():
+    schedule = FailureSchedule()
+    schedule.add(5.0, "crash", "p1")
+    schedule.add(1.0, "join", "p2")
+    schedule.add(3.0, "leave", "p1")
+    assert [entry[0] for entry in schedule] == [1.0, 3.0, 5.0]
+    assert len(schedule.between(0, 4)) == 2
+    assert len(schedule.actions_for("p1")) == 2
+    assert schedule.last_time() == 5.0
+
+
+def test_failure_schedule_validation():
+    schedule = FailureSchedule()
+    with pytest.raises(ValueError):
+        schedule.add(1.0, "explode", "p1")
+    with pytest.raises(ValueError):
+        schedule.add(-1.0, "crash", "p1")
+
+
+# ---------------------------------------------------------------------------
+# Transport + RPC
+# ---------------------------------------------------------------------------
+
+
+def _build_pair(latency=0.01, **network_kwargs):
+    sim = Simulator(seed=1)
+    network = Network(sim, latency=ConstantLatency(latency), **network_kwargs)
+    a = RpcAgent(sim, network, Address("a"))
+    b = RpcAgent(sim, network, Address("b"))
+    return sim, network, a, b
+
+
+def test_rpc_round_trip_and_latency_accounting():
+    sim, _network, a, b = _build_pair(latency=0.01)
+    b.expose("add", lambda x, y: x + y)
+
+    def caller(sim):
+        result = yield a.call(b.address, "add", x=2, y=3)
+        return result, sim.now
+
+    result, finished_at = sim.run_process(caller(sim))
+    assert result == 5
+    assert finished_at == pytest.approx(0.02)  # one round trip = 2 * latency
+
+
+def test_rpc_remote_exception_propagates():
+    sim, _network, a, b = _build_pair()
+
+    def broken():
+        raise ValueError("remote failure")
+
+    b.expose("broken", broken)
+
+    def caller(sim):
+        try:
+            yield a.call(b.address, "broken")
+        except ValueError as exc:
+            return str(exc)
+        return None
+
+    assert sim.run_process(caller(sim)) == "remote failure"
+
+
+def test_rpc_unknown_method():
+    sim, _network, a, b = _build_pair()
+
+    def caller(sim):
+        try:
+            yield a.call(b.address, "missing")
+        except UnknownRpcMethod:
+            return "unknown"
+        return None
+
+    assert sim.run_process(caller(sim)) == "unknown"
+
+
+def test_rpc_timeout_on_crashed_destination():
+    sim, network, a, b = _build_pair()
+    b.expose("ping", lambda: "pong")
+    b.go_offline(crash=True)
+
+    def caller(sim):
+        try:
+            yield a.call(b.address, "ping", timeout=0.5)
+        except RequestTimeout:
+            return sim.now
+        return None
+
+    assert sim.run_process(caller(sim)) == pytest.approx(0.5)
+    assert network.has_crashed(b.address)
+
+
+def test_rpc_generator_handler_performs_nested_calls():
+    sim, _network, a, b = _build_pair()
+    c = RpcAgent(sim, Network(sim), Address("c"))  # separate net not used; reuse b's
+    # Use the same network for c:
+    c = RpcAgent(sim, _network, Address("c"))
+    c.expose("leaf", lambda: "leaf-value")
+
+    def relay():
+        value = yield b.call(c.address, "leaf")
+        return f"relayed:{value}"
+
+    b.expose("relay", relay)
+
+    def caller(sim):
+        result = yield a.call(b.address, "relay")
+        return result
+
+    assert sim.run_process(caller(sim)) == "relayed:leaf-value"
+
+
+def test_request_helper_retries_until_peer_returns():
+    sim, network, a, b = _build_pair()
+    calls = {"count": 0}
+
+    def flaky():
+        calls["count"] += 1
+        return "ok"
+
+    b.expose("flaky", flaky)
+    b.go_offline(crash=True)
+
+    def revive(sim):
+        yield sim.timeout(0.3)
+        b.go_online()
+
+    def caller(sim):
+        result = yield from a.request(b.address, "flaky", timeout=0.2, retries=3)
+        return result
+
+    sim.process(revive(sim))
+    assert sim.run_process(caller(sim)) == "ok"
+    assert calls["count"] == 1
+
+
+def test_request_helper_exhausts_retries():
+    sim, _network, a, b = _build_pair()
+    b.go_offline(crash=True)
+
+    def caller(sim):
+        try:
+            yield from a.request(b.address, "ping", timeout=0.1, retries=2)
+        except RequestTimeout:
+            return "gave up"
+        return None
+
+    assert sim.run_process(caller(sim)) == "gave up"
+
+
+def test_call_from_offline_agent_fails_fast():
+    sim, _network, a, b = _build_pair()
+    b.expose("ping", lambda: "pong")
+    a.go_offline()
+
+    def caller(sim):
+        try:
+            yield a.call(b.address, "ping")
+        except NodeUnreachable:
+            return "unreachable"
+        return None
+
+    assert sim.run_process(caller(sim)) == "unreachable"
+
+
+def test_oneway_notify_delivered():
+    sim, _network, a, b = _build_pair()
+    received = []
+    b.expose("event", lambda value: received.append(value))
+
+    def caller(sim):
+        a.notify(b.address, "event", value=7)
+        yield sim.timeout(0.1)
+
+    sim.run_process(caller(sim))
+    assert received == [7]
+
+
+def test_expose_object_rpc_prefix():
+    sim, _network, a, b = _build_pair()
+
+    class Service:
+        def rpc_hello(self, name):
+            return f"hello {name}"
+
+        def not_exposed(self):  # pragma: no cover - should never be called remotely
+            return "hidden"
+
+    b.expose_object(Service())
+    assert "hello" in b.handlers()
+    assert "not_exposed" not in b.handlers()
+
+    def caller(sim):
+        result = yield a.call(b.address, "hello", name="world")
+        return result
+
+    assert sim.run_process(caller(sim)) == "hello world"
+
+
+def test_network_partition_blocks_rpc():
+    sim, network, a, b = _build_pair()
+    b.expose("ping", lambda: "pong")
+    network.partitions.split([[a.address], [b.address]])
+
+    def caller(sim):
+        try:
+            yield a.call(b.address, "ping", timeout=0.2)
+        except RequestTimeout:
+            return "partitioned"
+        return None
+
+    assert sim.run_process(caller(sim)) == "partitioned"
+    network.partitions.heal()
+
+    def caller_after_heal(sim):
+        result = yield a.call(b.address, "ping", timeout=0.2)
+        return result
+
+    assert sim.run_process(caller_after_heal(sim)) == "pong"
+
+
+def test_network_stats_accounting():
+    sim, network, a, b = _build_pair()
+    b.expose("ping", lambda: "pong")
+
+    def caller(sim):
+        yield a.call(b.address, "ping")
+
+    sim.run_process(caller(sim))
+    stats = network.stats.snapshot()
+    assert stats["sent"] == 2  # request + response
+    assert stats["delivered"] == 2
+    assert stats["dropped"] == 0
+    assert stats["per_method"]["ping"] == 2
+    assert stats["bytes_sent"] > 0
+
+
+def test_message_reply_only_for_requests():
+    message = _dummy_message()
+    with pytest.raises(ValueError):
+        message.reply("nope")
+
+
+def test_crash_drops_inflight_messages():
+    sim, network, a, b = _build_pair(latency=0.05)
+    b.expose("ping", lambda: "pong")
+
+    def crasher(sim):
+        yield sim.timeout(0.01)
+        b.go_offline(crash=True)
+
+    def caller(sim):
+        try:
+            yield a.call(b.address, "ping", timeout=0.3)
+        except RequestTimeout:
+            return "timed out"
+        return None
+
+    sim.process(crasher(sim))
+    assert sim.run_process(caller(sim)) == "timed out"
+    assert network.stats.dropped >= 1
+
+
+def test_loss_model_forces_timeouts():
+    sim = Simulator(seed=3)
+    network = Network(sim, latency=ConstantLatency(0.01), loss=BernoulliLoss(1.0))
+    a = RpcAgent(sim, network, Address("a"))
+    b = RpcAgent(sim, network, Address("b"))
+    b.expose("ping", lambda: "pong")
+
+    def caller(sim):
+        try:
+            yield a.call(b.address, "ping", timeout=0.2)
+        except RequestTimeout:
+            return "lost"
+        return None
+
+    assert sim.run_process(caller(sim)) == "lost"

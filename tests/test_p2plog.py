@@ -1,0 +1,177 @@
+"""Tests for the P2P-Log (repro.p2plog)."""
+
+import pytest
+
+from repro.chord import ChordConfig, ChordRing, HashFunctionFamily
+from repro.dht import ChordDhtClient, LocalDht
+from repro.errors import PatchUnavailable
+from repro.p2plog import LogEntry, P2PLogClient, make_log_key
+from repro.net import ConstantLatency
+from repro.sim import Simulator
+
+BITS = 32
+
+
+def log_config(**overrides):
+    defaults = dict(
+        bits=BITS,
+        successor_list_size=4,
+        replication_factor=2,
+        stabilize_interval=0.2,
+        fix_fingers_interval=0.3,
+        check_predecessor_interval=0.4,
+    )
+    defaults.update(overrides)
+    return ChordConfig(**defaults)
+
+
+def build_ring(node_count=8, seed=13):
+    ring = ChordRing(config=log_config(), seed=seed, latency=ConstantLatency(0.002))
+    ring.bootstrap(node_count)
+    return ring
+
+
+def run(ring, generator):
+    return ring.sim.run(until=ring.sim.process(generator))
+
+
+def make_entry(ts, key="doc", author="u1", patch=None):
+    return LogEntry(document_key=key, ts=ts, patch=patch if patch is not None else f"patch-{ts}",
+                    author=author)
+
+
+# ---------------------------------------------------------------------------
+# LogEntry
+# ---------------------------------------------------------------------------
+
+
+def test_log_entry_validation_and_log_key():
+    entry = make_entry(3)
+    assert entry.log_key == "doc#3"
+    assert "doc@3" in entry.describe()
+    with pytest.raises(ValueError):
+        make_entry(0)
+    with pytest.raises(ValueError):
+        make_log_key("doc", 0)
+
+
+def test_log_entry_equality_ignores_metadata():
+    a = LogEntry("d", 1, "p", metadata={"x": 1})
+    b = LogEntry("d", 1, "p", metadata={"y": 2})
+    assert a == b
+
+
+# ---------------------------------------------------------------------------
+# publication and retrieval over LocalDht (pure client logic)
+# ---------------------------------------------------------------------------
+
+
+def test_publish_and_fetch_roundtrip_local():
+    sim = Simulator()
+    dht = LocalDht(sim)
+    log = P2PLogClient(dht, HashFunctionFamily.create(3, bits=BITS))
+    entry = make_entry(1)
+
+    stored = sim.run(until=sim.process(log.publish(entry)))
+    assert stored == 3
+    assert len(dht) == 3  # three distinct placements
+
+    fetched = sim.run(until=sim.process(log.fetch("doc", 1)))
+    assert fetched == entry
+
+
+def test_fetch_missing_entry_raises_local():
+    sim = Simulator()
+    log = P2PLogClient(LocalDht(sim), HashFunctionFamily.create(2, bits=BITS))
+    with pytest.raises(PatchUnavailable):
+        sim.run(until=sim.process(log.fetch("doc", 9)))
+
+
+def test_fetch_range_in_order_local():
+    sim = Simulator()
+    log = P2PLogClient(LocalDht(sim), HashFunctionFamily.create(2, bits=BITS))
+    for ts in range(1, 6):
+        sim.run(until=sim.process(log.publish(make_entry(ts))))
+    entries = sim.run(until=sim.process(log.fetch_range("doc", 2, 4)))
+    assert [entry.ts for entry in entries] == [2, 3, 4]
+    assert sim.run(until=sim.process(log.fetch_range("doc", 4, 2))) == []
+
+
+def test_placements_are_distinct_and_prefixed():
+    sim = Simulator()
+    log = P2PLogClient(LocalDht(sim), HashFunctionFamily.create(3, bits=BITS))
+    placements = log.placements("doc", 7)
+    keys = [key for key, _ in placements]
+    identifiers = [identifier for _, identifier in placements]
+    assert len(set(keys)) == 3
+    assert len(set(identifiers)) == 3
+    assert all(key.endswith("doc#7") for key in keys)
+
+
+def test_default_hash_family_uses_replication_factor():
+    sim = Simulator()
+    log = P2PLogClient(LocalDht(sim), replication_factor=4, bits=BITS)
+    assert log.replication_factor == 4
+
+
+# ---------------------------------------------------------------------------
+# over the Chord ring
+# ---------------------------------------------------------------------------
+
+
+def test_publish_places_entries_at_responsible_log_peers():
+    ring = build_ring()
+    client = P2PLogClient(ChordDhtClient(ring.gateway()), HashFunctionFamily.create(3, bits=BITS))
+    entry = make_entry(1, key="wiki:home")
+    stored = run(ring, client.publish(entry))
+    assert stored == 3
+    for storage_key, identifier in client.placements("wiki:home", 1):
+        owner = ring.responsible_node_for_id(identifier)
+        assert owner.storage.value(storage_key) == entry
+
+
+def test_fetch_from_any_peer_returns_same_entry():
+    ring = build_ring()
+    publisher = P2PLogClient(ChordDhtClient(ring.gateway()), HashFunctionFamily.create(2, bits=BITS))
+    entry = make_entry(1, key="wiki:shared")
+    run(ring, publisher.publish(entry))
+    for name in ring.ring_order()[:4]:
+        reader = P2PLogClient(ChordDhtClient(ring.node(name)), HashFunctionFamily.create(2, bits=BITS))
+        assert run(ring, reader.fetch("wiki:shared", 1)) == entry
+
+
+def test_entries_survive_log_peer_crash_with_multiple_placements():
+    ring = build_ring(node_count=10)
+    client = P2PLogClient(ChordDhtClient(ring.gateway()), HashFunctionFamily.create(3, bits=BITS))
+    entry = make_entry(1, key="wiki:resilient")
+    run(ring, client.publish(entry))
+    ring.run_for(2)
+    # crash the primary Log-Peer of the first placement
+    _key, identifier = client.placements("wiki:resilient", 1)[0]
+    victim = ring.responsible_node_for_id(identifier)
+    gateway_name = next(
+        name for name in ring.ring_order() if name != victim.address.name
+    )
+    ring.crash(victim.address.name)
+    assert ring.wait_until_stable(max_time=90)
+    reader = P2PLogClient(ChordDhtClient(ring.node(gateway_name)), HashFunctionFamily.create(3, bits=BITS))
+    assert run(ring, reader.fetch("wiki:resilient", 1)) == entry
+
+
+def test_availability_counts_placements():
+    ring = build_ring()
+    client = P2PLogClient(ChordDhtClient(ring.gateway()), HashFunctionFamily.create(3, bits=BITS))
+    run(ring, client.publish(make_entry(1, key="wiki:avail")))
+    assert run(ring, client.availability("wiki:avail", 1)) == 3
+    assert run(ring, client.availability("wiki:avail", 2)) == 0
+
+
+def test_statistics_track_publications_and_fallbacks():
+    ring = build_ring()
+    client = P2PLogClient(ChordDhtClient(ring.gateway()), HashFunctionFamily.create(2, bits=BITS))
+    run(ring, client.publish(make_entry(1, key="wiki:stats")))
+    run(ring, client.fetch("wiki:stats", 1))
+    stats = client.statistics()
+    assert stats["published_entries"] == 1
+    assert stats["retrievals"] == 1
+    assert stats["replication_factor"] == 2

@@ -1,0 +1,95 @@
+"""Tests for the simulation synchronization primitives (FifoLock, Semaphore)."""
+
+import pytest
+
+from repro.sim import FifoLock, Semaphore, Simulator
+
+
+def test_fifo_lock_mutual_exclusion_and_order():
+    sim = Simulator()
+    lock = FifoLock(sim)
+    log = []
+
+    def worker(name, hold):
+        def proc(sim):
+            yield from lock.acquire()
+            try:
+                log.append(f"{name}:enter@{sim.now}")
+                yield sim.timeout(hold)
+                log.append(f"{name}:exit@{sim.now}")
+            finally:
+                lock.release()
+        return proc
+
+    sim.process(worker("a", 2)(sim))
+    sim.process(worker("b", 1)(sim))
+    sim.process(worker("c", 1)(sim))
+    sim.run()
+    assert log == [
+        "a:enter@0.0",
+        "a:exit@2.0",
+        "b:enter@2.0",
+        "b:exit@3.0",
+        "c:enter@3.0",
+        "c:exit@4.0",
+    ]
+    assert not lock.locked
+
+
+def test_fifo_lock_waiters_count():
+    sim = Simulator()
+    lock = FifoLock(sim)
+
+    def holder(sim):
+        yield from lock.acquire()
+        yield sim.timeout(5)
+        lock.release()
+
+    def waiter(sim):
+        yield from lock.acquire()
+        lock.release()
+
+    sim.process(holder(sim))
+    sim.process(waiter(sim))
+    sim.process(waiter(sim))
+    sim.run(until=1)
+    assert lock.locked
+    assert lock.waiters == 2
+    sim.run()
+    assert lock.waiters == 0
+
+
+def test_fifo_lock_release_unlocked_raises():
+    sim = Simulator()
+    lock = FifoLock(sim)
+    with pytest.raises(RuntimeError):
+        lock.release()
+
+
+def test_semaphore_limits_concurrency():
+    sim = Simulator()
+    semaphore = Semaphore(sim, capacity=2)
+    concurrent = {"now": 0, "max": 0}
+
+    def worker(sim):
+        yield from semaphore.acquire()
+        concurrent["now"] += 1
+        concurrent["max"] = max(concurrent["max"], concurrent["now"])
+        yield sim.timeout(1)
+        concurrent["now"] -= 1
+        semaphore.release()
+
+    for _ in range(6):
+        sim.process(worker(sim))
+    sim.run()
+    assert concurrent["max"] == 2
+    assert semaphore.available == 2
+
+
+def test_semaphore_validation_and_release_guard():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Semaphore(sim, capacity=0)
+    semaphore = Semaphore(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        semaphore.release()
