@@ -3,8 +3,8 @@
 The paper motivates P2P-LTR by the bottleneck / single-point-of-failure of
 single-node reconcilers and by the need to keep every user's contribution.
 This benchmark runs the same concurrent-editing workload against all three
-systems and reports which of them (a) keeps all updates and (b) survives
-the crash of its coordinator.
+systems through the scenario engine and reports which of them (a) keeps
+all updates and (b) survives the crash of its coordinator.
 
 Run with ``pytest benchmarks/bench_baseline_comparison.py --benchmark-only -s``.
 """
@@ -23,11 +23,10 @@ def test_benchmark_baseline_comparison(benchmark):
         rounds=1,
         iterations=1,
     )
-    table = run.table
     print()
-    print(table.render())
+    print(run.table.render())
 
-    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    rows = run.result.rows
     ltr_rows = [row for row in rows if row["system"] == "p2p-ltr"]
     central_rows = [row for row in rows if row["system"] == "central"]
     lww_rows = [row for row in rows if row["system"] == "lww"]

@@ -1,9 +1,11 @@
-"""Benchmark E8 — Chord substrate health: lookup correctness and hop counts.
+"""Benchmark E8 — Chord substrate health: lookups, hop counts, route cache.
 
 P2P-LTR's correctness rests on the DHT resolving every key to the right
 responsible peer; its response times rest on lookups taking O(log N) hops.
 This benchmark validates the Open Chord substitute on both counts across
-ring sizes.
+ring sizes, and measures the route cache on the dominant access pattern —
+repeated lookups towards the same Master-key peer — against the uncached
+protocol (``route_cache_enabled=False``).
 
 Run with ``pytest benchmarks/bench_chord_lookup.py --benchmark-only -s``.
 """
@@ -12,12 +14,12 @@ from repro.experiments import run_experiment
 
 
 def test_benchmark_chord_lookup(benchmark):
-    """E8: lookups are correct and hop counts grow slowly with ring size."""
+    """E8: lookups are correct, hops grow slowly, the route cache removes them."""
     run = benchmark.pedantic(
         lambda: run_experiment(
             "E8",
             quick=True,
-            overrides={"peer_counts": (8, 16, 32, 64), "lookups": 40},
+            overrides={"peer_counts": (8, 16, 32, 64), "lookups": 40, "hot_lookups": 16},
         ),
         rounds=1,
         iterations=1,
@@ -26,9 +28,16 @@ def test_benchmark_chord_lookup(benchmark):
     print()
     print(table.render())
 
-    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    rows = run.result.rows
     assert all(row["correct_fraction"] == 1.0 for row in rows)
     # Logarithmic growth: the 64-peer ring needs far fewer than 8x the hops
     # of the 8-peer ring.
     assert rows[-1]["mean_hops"] <= 4 * max(rows[0]["mean_hops"], 1.0)
     assert all(row["max_hops"] <= 64 for row in rows)
+    # Route cache: repeated same-key lookups must cost strictly fewer hops
+    # than the uncached protocol, at every ring size where the uncached
+    # path needs at least one hop.
+    for row in rows:
+        assert row["hot_mean_hops_uncached"] >= 1.0
+        assert row["hot_mean_hops_cached"] < row["hot_mean_hops_uncached"]
+        assert row["cache_hit_fraction"] > 0.0

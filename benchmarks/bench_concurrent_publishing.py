@@ -2,9 +2,9 @@
 
 Concurrent updaters edit the same document; the Master-key peer serializes
 their validations, lagging updaters retrieve the missing patches in
-continuous total order, and every replica converges.  The table reports the
-retrieval/attempt counts and commit response times as the number of
-concurrent updaters grows.
+continuous total order, and every replica converges.  The engine-produced
+table reports the retrieval/attempt counts and commit response times as
+the number of concurrent updaters grows.
 
 Run with ``pytest benchmarks/bench_concurrent_publishing.py --benchmark-only -s``.
 """
@@ -23,11 +23,10 @@ def test_benchmark_concurrent_publishing(benchmark):
         rounds=1,
         iterations=1,
     )
-    table = run.table
     print()
-    print(table.render())
+    print(run.table.render())
 
-    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    rows = run.result.rows
     # Eventual consistency for every level of contention.
     assert all(row["converged"] for row in rows)
     # Continuous timestamps: the final ts equals the number of updaters.

@@ -28,11 +28,10 @@ def test_benchmark_log_availability(benchmark):
         rounds=1,
         iterations=1,
     )
-    table = run.table
     print()
-    print(table.render())
+    print(run.table.render())
 
-    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    rows = run.result.rows
     assert [row["replication_factor"] for row in rows] == [1, 2, 3, 4]
     # More placements survive with a larger hash family.
     assert rows[-1]["mean_available_placements"] > rows[0]["mean_available_placements"]

@@ -1,9 +1,10 @@
 """Benchmark E3 — Scenario "Master-key peer departures".
 
 A Master-key peer leaves normally or crashes while a document is being
-updated.  The table verifies that the keys and ``last-ts`` transfer to the
-Master-key-Succ, that the next validated timestamp continues the sequence
-without a gap, and that the replicas stay consistent.
+updated.  The engine-produced table verifies that the keys and ``last-ts``
+transfer to the Master-key-Succ, that the next validated timestamp
+continues the sequence without a gap, and that the replicas stay
+consistent.
 
 Run with ``pytest benchmarks/bench_master_departure.py --benchmark-only -s``.
 """
@@ -22,11 +23,10 @@ def test_benchmark_master_departure(benchmark):
         rounds=1,
         iterations=1,
     )
-    table = run.table
     print()
-    print(table.render())
+    print(run.table.render())
 
-    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    rows = run.result.rows
     assert len(rows) == 4
     # Paper claim: the successor recovers the last-ts value exactly.
     assert all(row["ts_after_recovery"] == row["ts_before"] for row in rows)

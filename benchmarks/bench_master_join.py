@@ -1,9 +1,10 @@
 """Benchmark E4 — Scenario "New Master-key peer joining".
 
 New peers join a running system and become Master-key peers for part of the
-key space.  The table verifies that the previous responsible peers hand over
-their keys and timestamp counters, that updates after the join continue the
-timestamp sequence, and that eventual consistency is preserved.
+key space.  The engine-produced table verifies that the previous
+responsible peers hand over their keys and timestamp counters, that updates
+after the join continue the timestamp sequence, and that eventual
+consistency is preserved.
 
 Run with ``pytest benchmarks/bench_master_join.py --benchmark-only -s``.
 """
@@ -22,11 +23,10 @@ def test_benchmark_master_join(benchmark):
         rounds=1,
         iterations=1,
     )
-    table = run.table
     print()
-    print(table.render())
+    print(run.table.render())
 
-    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    rows = run.result.rows
     assert len(rows) == 3
     assert all(row["counters_correct"] for row in rows)
     assert all(row["post_join_commit_ok"] for row in rows)

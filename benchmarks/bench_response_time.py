@@ -2,8 +2,10 @@
 
 The paper's prototype is used to "check the correctness and response times
 of P2P-LTR" while the demonstrator varies the number of peers and the
-network latencies.  This benchmark sweeps both knobs and reports the commit
-(validate + publish + acknowledge) response time.
+network latencies.  This benchmark sweeps both knobs through the scenario
+engine and reports the commit (validate + publish + acknowledge) response
+time; the Chord route cache keeps repeated Master-key lookups off the hop
+chain, which is what flattens the curve across ring sizes.
 
 Run with ``pytest benchmarks/bench_response_time.py --benchmark-only -s``.
 """
@@ -30,9 +32,8 @@ def test_benchmark_response_time(benchmark):
     print()
     print(table.render())
 
-    rows = [dict(zip(table.columns, row)) for row in table.rows]
     by_peers: dict[int, dict[str, float]] = {}
-    for row in rows:
+    for row in run.result.rows:
         by_peers.setdefault(row["peers"], {})[row["latency_preset"]] = row[
             "mean_commit_latency_s"
         ]
@@ -40,7 +41,8 @@ def test_benchmark_response_time(benchmark):
     for peers, presets in by_peers.items():
         assert presets["wan"] > presets["lan"], f"unexpected ordering for {peers} peers"
     # Expected shape: growing the ring 4x does not grow LAN response time 4x
-    # (lookups are logarithmic, the validation path is a constant number of hops).
+    # (lookups are logarithmic and cached, the validation path is a constant
+    # number of hops).
     smallest = min(by_peers)
     largest = max(by_peers)
     assert by_peers[largest]["lan"] < 4 * by_peers[smallest]["lan"] + 0.05

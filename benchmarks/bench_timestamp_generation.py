@@ -1,10 +1,11 @@
 """Benchmark E1 — Scenario "Timestamp generation" (paper Figure 4).
 
-Regenerates the demonstration's first scenario: continuous timestamp
-generation distributed over the Master-key peers of the DHT.  The printed
-table reports, per ring size, how many peers carry timestamping
-responsibility, the fairness of that distribution, the mean ``gen_ts``
-response time and whether every per-document sequence is gap-free.
+Regenerates the demonstration's first scenario through the scenario engine:
+continuous timestamp generation distributed over the Master-key peers of
+the DHT.  The printed table reports, per ring size, how many peers carry
+timestamping responsibility, the fairness of that distribution, the mean
+``gen_ts`` response time and whether every per-document sequence is
+gap-free.
 
 Run with ``pytest benchmarks/bench_timestamp_generation.py --benchmark-only -s``.
 """
@@ -23,11 +24,10 @@ def test_benchmark_timestamp_generation(benchmark):
         rounds=1,
         iterations=1,
     )
-    table = run.table
     print()
-    print(table.render())
+    print(run.table.render())
 
-    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    rows = run.result.rows
     # Paper claim: every per-document timestamp sequence is continuous.
     assert all(row["continuous_sequences"] for row in rows)
     # Paper claim: responsibility is spread over the peers of the DHT.

@@ -1,0 +1,67 @@
+"""Run every experiment in quick mode and snapshot BENCH_<id>.json artifacts.
+
+The artifacts carry each scenario's full rows plus aggregated headline
+metrics (mean latencies, hop counts, validation/retrieval counts and a
+wall-clock timing of the run), so the performance trajectory of the
+reproduction is diffable across PRs::
+
+    PYTHONPATH=src python benchmarks/run_all.py --out benchmarks/artifacts
+    git diff benchmarks/artifacts   # what moved since the last snapshot
+
+Use ``--full`` for paper-scale parameters and ``--only E5 E8`` to restrict
+the sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.engine import headline_metrics
+from repro.experiments import run_experiment, SPEC_FACTORIES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", metavar="DIR", default="benchmarks/artifacts",
+                        help="directory for the BENCH_<id>.json files")
+    parser.add_argument("--full", action="store_true",
+                        help="use the slower, paper-scale parameters")
+    parser.add_argument("--only", nargs="*", default=None, metavar="ID",
+                        help="experiment ids to run (default: all)")
+    arguments = parser.parse_args(argv)
+
+    target = Path(arguments.out)
+    target.mkdir(parents=True, exist_ok=True)
+    selected = arguments.only if arguments.only else list(SPEC_FACTORIES)
+    unknown = [experiment_id for experiment_id in selected
+               if experiment_id not in SPEC_FACTORIES]
+    if unknown:
+        parser.error(f"unknown experiment ids {unknown}; known: {list(SPEC_FACTORIES)}")
+
+    for experiment_id in SPEC_FACTORIES:
+        if experiment_id not in selected:
+            continue
+        started = time.perf_counter()
+        run = run_experiment(experiment_id, quick=not arguments.full)
+        elapsed = time.perf_counter() - started
+        payload = run.result.to_json_dict()
+        payload["headline"] = headline_metrics(run.result)
+        payload["wall_clock_s"] = round(elapsed, 3)
+        payload["profile"] = "full" if arguments.full else "quick"
+        path = target / f"BENCH_{experiment_id}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+        headline = ", ".join(
+            f"{name}={value:.4g}" for name, value in sorted(payload["headline"].items())
+        )
+        print(f"{experiment_id}: {elapsed:.1f}s wall clock -> {path}")
+        if headline:
+            print(f"  {headline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,68 +5,35 @@ what the paper's introduction argues qualitatively: a centralized reconciler
 is a single point of failure, last-writer-wins loses concurrent
 contributions, and P2P-LTR avoids both problems.
 
+Since this is exactly experiment E6, the example simply asks the scenario
+engine for the E6 spec with custom parameters — no hand-rolled loops.
+
 Run with ``python examples/baseline_showdown.py``.
 """
 
-from repro import LtrSystem
-from repro.baselines import CentralSystem, LwwSystem
-from repro.errors import MasterUnavailable
-from repro.net import ConstantLatency
+from repro.engine import run_scenario
+from repro.experiments.scenarios import baseline_comparison_spec
 
 UPDATERS = 5
-KEY = "xwiki:DesignNotes"
-
-
-def run_p2p_ltr() -> None:
-    system = LtrSystem(seed=11, latency=ConstantLatency(0.005))
-    system.bootstrap(12)
-    results = system.run_concurrent_commits(
-        [(f"peer-{index}", KEY, f"idea from peer-{index}") for index in range(UPDATERS)]
-    )
-    report = system.check_consistency(KEY)
-    print("P2P-LTR:")
-    print(f"  validated revisions : {sorted(result.ts for result in results)}")
-    print(f"  contributions kept  : {len(report.canonical_lines)} / {UPDATERS}")
-    master = system.master_of(KEY)
-    system.crash(master)
-    survivor = system.peer_names()[0]
-    post = system.edit_and_commit(survivor, KEY, "still editable after the master crashed")
-    print(f"  after master crash  : next update validated with ts={post.ts} (no SPOF)")
-
-
-def run_central() -> None:
-    system = CentralSystem(peer_count=UPDATERS, seed=11, latency=ConstantLatency(0.005))
-    results = system.run_concurrent_commits(
-        [(f"peer-{index}", KEY, f"idea from peer-{index}") for index in range(UPDATERS)]
-    )
-    print("Centralized reconciler:")
-    print(f"  validated revisions : {sorted(result['ts'] for result in results)}")
-    system.crash_reconciler()
-    try:
-        system.edit_and_commit("peer-0", KEY, "one more idea")
-        outcome = "still available (unexpected)"
-    except MasterUnavailable:
-        outcome = "service unavailable — single point of failure"
-    print(f"  after reconciler crash: {outcome}")
-
-
-def run_lww() -> None:
-    system = LwwSystem.build(peer_count=UPDATERS, seed=11, latency=ConstantLatency(0.005))
-    for index in range(UPDATERS):
-        system.write(f"peer-{index}", KEY, f"idea from peer-{index}")
-    system.settle(2.0)
-    print("Last-writer-wins:")
-    print(f"  converged           : {system.converged(KEY)}")
-    print(f"  surviving content   : {system.surviving_content(KEY)!r}")
-    print(f"  lost contributions  : {system.lost_updates(KEY)} / {UPDATERS}")
 
 
 def main() -> None:
-    run_p2p_ltr()
-    print()
-    run_central()
-    print()
-    run_lww()
+    spec = baseline_comparison_spec(updater_counts=(UPDATERS,), peers=12, seed=11)
+    result = run_scenario(spec)
+    print(result.table.render())
+
+    by_system = {row["system"]: row for row in result.rows}
+    print("what the table says:")
+    ltr = by_system["p2p-ltr"]
+    print(f"  P2P-LTR   : kept all {UPDATERS} contributions="
+          f"{ltr['all_updates_preserved']}, survives coordinator crash="
+          f"{ltr['survives_coordinator_crash']}")
+    central = by_system["central"]
+    print(f"  central   : survives reconciler crash="
+          f"{central['survives_coordinator_crash']} (single point of failure)")
+    lww = by_system["lww"]
+    print(f"  LWW       : lost {lww['lost_updates']} of {UPDATERS} concurrent "
+          f"contributions (no reconciliation)")
 
 
 if __name__ == "__main__":

@@ -1,13 +1,17 @@
-"""Quickstart: a first P2P-LTR system in a few lines.
+"""Quickstart: a first P2P-LTR system, then a first declarative scenario.
 
 Builds a small DHT ring, lets two peers edit the same document, and shows
 the three things P2P-LTR guarantees: continuous timestamps, a complete
-patch log, and eventual consistency of every replica.
+patch log, and eventual consistency of every replica.  The closing section
+declares the same measurement as a :class:`~repro.engine.ScenarioSpec` and
+lets the scenario engine do the sweeping and tabulation — that is how all
+of E1..E10 are written.
 
 Run with ``python examples/quickstart.py``.
 """
 
 from repro import LtrSystem
+from repro.engine import ScenarioSpec, run_scenario
 
 
 def main() -> None:
@@ -43,6 +47,32 @@ def main() -> None:
 
     # 5. Where is the Master-key peer for this document?
     print(f"Master-key peer for {key!r} is {system.master_of(key)}")
+
+    # 6. The same steps as a declarative scenario: the engine sweeps the
+    #    ring size, derives the seeds, and builds the result table.
+    def measure(ctx):
+        sized = ctx.build_system()  # peers/seed/latency come from the context
+        created = sized.edit_and_commit("peer-0", key, "P2P-LTR in one page")
+        merged = sized.edit_and_commit("peer-1", key, "a second line from peer-1")
+        sized_report = sized.check_consistency(key)
+        return {
+            "peers": ctx.params["peers"],
+            "final_ts": merged.ts,
+            "retrieved": merged.retrieved_patches,
+            "first_commit_ms": round(created.latency * 1000, 2),
+            "converged": sized_report.converged,
+        }
+
+    spec = ScenarioSpec(
+        scenario_id="QUICKSTART",
+        title="Quickstart as a scenario: two sequential edits per ring size",
+        columns=("peers", "final_ts", "retrieved", "first_commit_ms", "converged"),
+        grid={"peers": (4, 8, 16)},
+        seed=42,
+        measure=measure,
+    )
+    print()
+    print(run_scenario(spec).table.render())
 
 
 if __name__ == "__main__":

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``.  This file only enables the
+legacy editable-install path (``pip install -e . --no-use-pep517``) in
+minimal environments that lack the ``wheel`` package; normal environments
+can simply ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -29,6 +29,7 @@ from .idspace import (
 from .node import ChordNode
 from .refs import NodeRef
 from .ring import ChordRing
+from .routecache import RouteCache
 from .services import NodeService
 from .storage import NodeStorage, StoredItem
 from .successors import SuccessorList
@@ -43,6 +44,7 @@ __all__ = [
     "NodeRef",
     "NodeService",
     "NodeStorage",
+    "RouteCache",
     "SaltedHash",
     "StoredItem",
     "SuccessorList",

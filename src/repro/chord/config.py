@@ -40,6 +40,17 @@ class ChordConfig:
     max_lookup_hops:
         Safety bound on routing recursion (a broken ring raises
         :class:`~repro.errors.LookupFailed` instead of looping forever).
+    route_cache_enabled:
+        When ``True`` (the default) every node memoizes recently resolved
+        responsibility intervals so repeated lookups towards the same
+        Master-key peer skip the O(log N) hop chain; see
+        :class:`~repro.chord.routecache.RouteCache`.
+    route_cache_size:
+        Maximum number of cached intervals per node.
+    route_cache_ttl:
+        Lifetime of a cached route in simulated seconds; it should stay a
+        small multiple of ``stabilize_interval`` so stale routes die out at
+        the same pace the ring repairs itself.
     """
 
     bits: int = DEFAULT_ID_BITS
@@ -51,6 +62,9 @@ class ChordConfig:
     rpc_timeout: Optional[float] = None
     rpc_retries: int = 1
     max_lookup_hops: int = 64
+    route_cache_enabled: bool = True
+    route_cache_size: int = 128
+    route_cache_ttl: float = 1.0
 
     def __post_init__(self) -> None:
         if self.bits <= 0:
@@ -73,3 +87,9 @@ class ChordConfig:
                 raise ConfigurationError(f"{name} must be positive")
         if self.max_lookup_hops < 1:
             raise ConfigurationError("max_lookup_hops must be >= 1")
+        if self.route_cache_size < 1:
+            raise ConfigurationError(
+                f"route_cache_size must be >= 1, got {self.route_cache_size}"
+            )
+        if self.route_cache_ttl <= 0:
+            raise ConfigurationError("route_cache_ttl must be positive")

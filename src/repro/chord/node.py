@@ -29,6 +29,7 @@ from .finger import FingerTable
 from .hashing import hash_to_id
 from .idspace import in_interval_open, in_interval_open_closed
 from .refs import NodeRef
+from .routecache import RouteCache
 from .services import NodeService
 from .storage import NodeStorage, StoredItem
 from .successors import SuccessorList
@@ -78,6 +79,11 @@ class ChordNode:
         self._next_finger = 0
         self._replica_targets: tuple[NodeRef, ...] = ()
         self.lookups_served = 0
+        self.route_cache: Optional[RouteCache] = (
+            RouteCache(self.config.route_cache_size, self.config.route_cache_ttl)
+            if self.config.route_cache_enabled
+            else None
+        )
 
         self.services: list[NodeService] = list(services or [])
         self.rpc.expose_object(self)
@@ -134,6 +140,8 @@ class ChordNode:
         self.predecessor = None
         self.successors.replace([successor])
         self.fingers.fill_with(successor)
+        if self.route_cache is not None:
+            self.route_cache.clear()  # entries from a previous incarnation
         self.alive = True
         self._start_maintenance()
 
@@ -287,7 +295,19 @@ class ChordNode:
         if successor == self.ref or in_interval_open_closed(
             target_id, self.node_id, successor.node_id
         ):
-            return {"node": successor, "hops": hops}
+            answer = {"node": successor, "hops": hops}
+            if successor != self.ref:
+                # Don't advertise the degenerate (self, self] interval: it
+                # covers the whole ring, so caching it (e.g. after a
+                # transient successor-list collapse) would misroute every
+                # key towards this node for a full TTL.
+                answer["interval"] = (self.node_id, successor.node_id)
+            return answer
+
+        cached = self._cached_route(target_id)
+        if cached is not None:
+            interval, owner = cached
+            return {"node": owner, "hops": hops, "interval": interval, "cached": True}
 
         excluded: set[NodeRef] = set()
         while True:
@@ -304,11 +324,47 @@ class ChordNode:
                     hops=hops + 1,
                     timeout=self.config.rpc_timeout,
                 )
+                self._remember_route(answer)
                 return answer
             except _UNREACHABLE_ERRORS:
                 excluded.add(candidate)
                 self.fingers.remove_node(candidate)
                 self.successors.remove(candidate)
+                if self.route_cache is not None:
+                    self.route_cache.invalidate_node(candidate)
+
+    def _cached_route(self, target_id: int) -> Optional[tuple[tuple[int, int], NodeRef]]:
+        """A fresh cached ``(interval, owner)`` for ``target_id``, if usable.
+
+        A hit is only served while the owner is still registered with the
+        network; an entry pointing at a crashed/departed peer is purged
+        instead of returned, so routing falls back to the finger chain.
+        """
+        if self.route_cache is None:
+            return None
+        cached = self.route_cache.lookup(target_id, self.sim.now)
+        if cached is None:
+            return None
+        interval, owner = cached
+        if not self.network.is_up(owner.address):
+            self.route_cache.invalidate_node(owner)
+            return None
+        return interval, owner
+
+    def _remember_route(self, answer: dict) -> None:
+        """Cache the responsibility interval carried by a lookup answer.
+
+        Answers served from another node's cache (``cached`` flag) are not
+        re-stored: re-stamping them with a fresh insertion time would let a
+        stale route circulate between nodes past its TTL.  Only authoritative
+        base-case answers (re)start the clock.
+        """
+        if self.route_cache is None or answer.get("cached"):
+            return
+        interval = answer.get("interval")
+        if interval is None:
+            return
+        self.route_cache.store(tuple(interval), answer["node"], self.sim.now)
 
     def _first_live_successor_candidate(self, excluded: set[NodeRef]) -> Optional[NodeRef]:
         for entry in self.successors.entries():
@@ -343,6 +399,14 @@ class ChordNode:
             or not self.network.is_up(self.predecessor.address)
             or in_interval_open(candidate.node_id, self.predecessor.node_id, self.node_id)
         ):
+            if (
+                self.route_cache is not None
+                and self.predecessor is not None
+                and self.predecessor != candidate
+            ):
+                # A peer slotted in between our old predecessor and us: any
+                # cached claim about who owns that arc is now suspect.
+                self.route_cache.clear()
             self.predecessor = candidate
 
     def rpc_successor_leaving(self, leaving: NodeRef, replacement: NodeRef) -> None:
@@ -354,6 +418,8 @@ class ChordNode:
             elif len(self.successors) == 0:
                 self.successors.replace([replacement])
         self.fingers.remove_node(leaving)
+        if self.route_cache is not None:
+            self.route_cache.invalidate_node(leaving)
 
     def rpc_store(self, key: str, value: Any, key_id: Optional[int] = None,
                   is_replica: bool = False) -> bool:
@@ -395,6 +461,10 @@ class ChordNode:
         if moving:
             for service in self.services:
                 service.on_items_handed_off(moving, requester.name)
+        if self.route_cache is not None:
+            # The requester took over part of our old interval; any cached
+            # claim naming us for that arc is stale.
+            self.route_cache.clear()
         return moving
 
     def rpc_receive_items(self, items: list[StoredItem], as_replica: bool = False) -> int:
@@ -432,6 +502,7 @@ class ChordNode:
             yield from self._check_predecessor_once()
 
     def _stabilize_once(self):
+        head_before = self.successors.head
         successor = self.successors.head
         if successor is None:
             self.successors.replace([self.ref])
@@ -462,12 +533,18 @@ class ChordNode:
             self.successors.adopt(successor, their_list)
             self.rpc.notify(successor.address, "notify", candidate=self.ref)
             self._refresh_replicas_if_targets_changed()
+            if self.route_cache is not None and self.successors.head != head_before:
+                # Our immediate successor changed (join or repair): our own
+                # base-case interval moved, so cached routes are suspect.
+                self.route_cache.clear()
         except _UNREACHABLE_ERRORS:
             self._handle_successor_failure(successor)
 
     def _handle_successor_failure(self, failed: NodeRef) -> None:
         self.fingers.remove_node(failed)
         self.successors.remove(failed)
+        if self.route_cache is not None:
+            self.route_cache.invalidate_node(failed)
         if self.successors.head is None:
             fallback = [ref for ref in self.fingers.known_nodes() if ref != failed]
             if fallback:
@@ -596,4 +673,5 @@ class ChordNode:
             "stored_keys": len(self.storage),
             "owned_keys": len(self.storage.owned_items()),
             "lookups_served": self.lookups_served,
+            "route_cache": self.route_cache.stats() if self.route_cache else None,
         }

@@ -79,6 +79,7 @@ class ChordRing:
         for name in names[1:]:
             node = self.create_node(name)
             self.sim.run(until=self.sim.process(node.join(bootstrap_address)))
+        self.clear_route_caches()  # routes learned mid-bootstrap are stale
         self.wait_until_stable(max_time=stabilize_time)
         return [self.nodes[name] for name in names]
 
@@ -92,6 +93,7 @@ class ChordRing:
         gateway = self.nodes[via] if via is not None else live[0]
         node = self.create_node(name)
         self.sim.run(until=self.sim.process(node.join(gateway.address)))
+        self.clear_route_caches()
         if stabilize:
             self.wait_until_stable()
         return node
@@ -102,6 +104,7 @@ class ChordRing:
         """Gracefully remove ``name`` from the ring."""
         node = self._existing(name)
         self.sim.run(until=self.sim.process(node.leave()))
+        self.clear_route_caches()
         if stabilize:
             self.wait_until_stable()
 
@@ -109,8 +112,21 @@ class ChordRing:
         """Crash ``name`` without warning (failure scenario)."""
         node = self._existing(name)
         node.fail()
+        self.clear_route_caches()
         if stabilize:
             self.wait_until_stable()
+
+    def clear_route_caches(self) -> None:
+        """Drop every node's cached routes (called around membership changes).
+
+        Individual nodes already invalidate their caches on the membership
+        events they *observe*; the driver-level clear covers the window in
+        which a remote change has not yet propagated to every peer, keeping
+        orchestrated churn scenarios deterministic.
+        """
+        for node in self.nodes.values():
+            if node.route_cache is not None:
+                node.route_cache.clear()
 
     # ---------------------------------------------------------------- access --
 
@@ -231,6 +247,19 @@ class ChordRing:
     def total_stored_items(self) -> int:
         """Total number of stored items across live nodes (owned + replicas)."""
         return sum(len(node.storage) for node in self.live_nodes())
+
+    def route_cache_stats(self) -> dict[str, float]:
+        """Aggregated route-cache counters over all live nodes."""
+        totals = {"entries": 0, "hits": 0, "misses": 0, "invalidations": 0}
+        for node in self.live_nodes():
+            if node.route_cache is None:
+                continue
+            stats = node.route_cache.stats()
+            for key in totals:
+                totals[key] += stats[key]
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_fraction"] = (totals["hits"] / lookups) if lookups else 0.0
+        return totals
 
     def find_owner(self, key: str) -> Optional[NodeRef]:
         """Routed lookup of ``key``'s owner; ``None`` if the lookup fails."""

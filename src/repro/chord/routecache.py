@@ -1,0 +1,121 @@
+"""Route cache: memoized ``find_successor`` answers for the lookup hot path.
+
+P2P-LTR's workloads hit the same Master-key peer over and over (every
+commit of a document looks up the same key, E1/E5 issue long runs of
+lookups for a handful of keys).  Re-walking the O(log N) finger chain for
+each of them is wasted work once the ring is stable, so every node keeps a
+small LRU cache of recently resolved *responsibility intervals*:
+
+    (start, end]  ->  owner NodeRef
+
+A lookup whose target falls inside a cached interval is answered in zero
+hops.  Because cached routes go stale under churn, three safety mechanisms
+bound the staleness window:
+
+* entries expire after a TTL (a small multiple of the stabilization
+  period by default),
+* entries pointing at peers observed to be unreachable are purged, and
+* membership events seen by the node (successor change, predecessor
+  hand-off, departure notifications) clear or purge the cache; the
+  :class:`~repro.chord.ring.ChordRing` driver additionally clears every
+  live node's cache when it orchestrates a join, leave or crash.
+
+The cache is deliberately tiny and scan-based: with the default capacity a
+lookup touches at most ``capacity`` tuples, which in a discrete-event
+simulation is orders of magnitude cheaper than a single simulated RPC.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional
+
+from .idspace import in_interval_open_closed
+from .refs import NodeRef
+
+Interval = tuple[int, int]
+
+
+class RouteCache:
+    """LRU cache of ``(start, end] -> owner`` routing intervals."""
+
+    def __init__(self, capacity: int = 128, ttl: float = 1.0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._entries: OrderedDict[Interval, tuple[NodeRef, float]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- queries ------------------------------------------------------------
+
+    def lookup(self, target_id: int, now: float) -> Optional[tuple[Interval, NodeRef]]:
+        """The cached ``(interval, owner)`` containing ``target_id``, if fresh."""
+        expired = [
+            interval
+            for interval, (_owner, stored_at) in self._entries.items()
+            if now - stored_at > self.ttl
+        ]
+        for interval in expired:
+            del self._entries[interval]
+            self.invalidations += 1
+        for interval, (owner, _stored_at) in self._entries.items():
+            if in_interval_open_closed(target_id, interval[0], interval[1]):
+                self._entries.move_to_end(interval)
+                self.hits += 1
+                return interval, owner
+        self.misses += 1
+        return None
+
+    # -- updates ------------------------------------------------------------
+
+    def store(self, interval: Interval, owner: NodeRef, now: float) -> None:
+        """Remember that ``owner`` is responsible for ``(start, end]``.
+
+        Degenerate intervals (``start == end``) are refused: under the
+        open-closed convention they cover the entire ring, which is only
+        ever true for a single-node ring — not worth caching, and poisonous
+        if a transiently islanded node advertised one.
+        """
+        if interval[0] == interval[1]:
+            return
+        self._entries[interval] = (owner, now)
+        self._entries.move_to_end(interval)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.invalidations += 1
+
+    def invalidate_node(self, node: NodeRef) -> int:
+        """Drop every entry whose owner is ``node`` (observed dead/departed)."""
+        stale = [
+            interval for interval, (owner, _t) in self._entries.items() if owner == node
+        ]
+        for interval in stale:
+            del self._entries[interval]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop everything (a membership change made all intervals suspect)."""
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+    # -- diagnostics --------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Hit/miss/invalidation counters plus the current size."""
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_fraction": (self.hits / total) if total else 0.0,
+        }

@@ -1,18 +1,32 @@
-"""Experiment harness: the code that regenerates every scenario and figure."""
+"""Experiment harness: the code that regenerates every scenario and figure.
 
-from .report import EXPERIMENT_DESCRIPTIONS, render_markdown_report
+Every experiment is a declarative :class:`~repro.engine.ScenarioSpec` (see
+:mod:`repro.experiments.scenarios`); this package keeps the stable public
+API (``run_experiment``, ``run_all``, the legacy ``experiment_*`` table
+functions) on top of the engine.
+"""
+
+from .report import (
+    EXPERIMENT_DESCRIPTIONS,
+    generate_experiments_md,
+    render_markdown_report,
+)
 from .runner import (
     FULL_PARAMETERS,
     QUICK_PARAMETERS,
     ExperimentRun,
+    paper_experiment,
     render_runs,
     run_all,
     run_experiment,
 )
 from .scenarios import (
+    SPEC_FACTORIES,
     experiment_baseline_comparison,
     experiment_chord_lookup,
+    experiment_churn_soak,
     experiment_concurrent_publishing,
+    experiment_hot_document_skew,
     experiment_log_availability,
     experiment_master_departure,
     experiment_master_join,
@@ -26,15 +40,20 @@ __all__ = [
     "ExperimentRun",
     "FULL_PARAMETERS",
     "QUICK_PARAMETERS",
+    "SPEC_FACTORIES",
     "experiment_baseline_comparison",
     "experiment_chord_lookup",
+    "experiment_churn_soak",
     "experiment_concurrent_publishing",
+    "experiment_hot_document_skew",
     "experiment_log_availability",
     "experiment_master_departure",
     "experiment_master_join",
     "experiment_response_time",
     "experiment_timestamp_generation",
+    "generate_experiments_md",
     "iter_all_experiments",
+    "paper_experiment",
     "render_markdown_report",
     "render_runs",
     "run_all",

@@ -2,16 +2,19 @@
 
 Usage::
 
-    python -m repro.experiments            # quick parameters, all experiments
-    python -m repro.experiments --full     # paper-scale parameters (slower)
-    python -m repro.experiments E2 E3      # only selected experiments
-    python -m repro.experiments --markdown # render as a markdown report
+    python -m repro.experiments                   # quick parameters, all experiments
+    python -m repro.experiments --full            # paper-scale parameters (slower)
+    python -m repro.experiments E2 E3             # only selected experiments
+    python -m repro.experiments --markdown        # render as a markdown report
+    python -m repro.experiments --markdown --output EXPERIMENTS.md
+    python -m repro.experiments --artifacts out/  # also write JSON artifacts
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .report import render_markdown_report
 from .runner import render_runs, run_all
@@ -21,19 +24,33 @@ def main(argv: list[str] | None = None) -> int:
     """Run the selected experiments and print the result tables."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("experiments", nargs="*",
-                        help="experiment ids to run (default: all of E1..E8)")
+                        help="experiment ids to run (default: all of E1..E10)")
     parser.add_argument("--full", action="store_true",
                         help="use the slower, paper-scale parameters")
     parser.add_argument("--markdown", action="store_true",
                         help="render the results as a markdown report")
+    parser.add_argument("--output", metavar="PATH", default=None,
+                        help="write the rendering to PATH instead of stdout")
+    parser.add_argument("--artifacts", metavar="DIR", default=None,
+                        help="also write one JSON artifact per experiment to DIR")
     arguments = parser.parse_args(argv)
 
     only = arguments.experiments or None
-    runs = run_all(quick=not arguments.full, only=only)
+    try:
+        runs = run_all(quick=not arguments.full, only=only,
+                       artifacts_dir=arguments.artifacts)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     if arguments.markdown:
-        print(render_markdown_report(runs))
+        rendering = render_markdown_report(runs)
     else:
-        print(render_runs(runs))
+        rendering = render_runs(runs)
+    if arguments.output:
+        Path(arguments.output).write_text(rendering + "\n")
+        print(f"wrote {arguments.output}")
+    else:
+        print(rendering)
     return 0
 
 

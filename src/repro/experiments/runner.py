@@ -1,17 +1,23 @@
-"""Experiment runner: execute the scenarios and collect their tables.
+"""Experiment runner: the paper's evaluation as one engine campaign.
 
 ``python -m repro.experiments`` runs everything with the default (quick)
-parameters and prints the tables; the pytest-benchmark modules call
-individual experiments with their own parameters.
+parameters and prints the tables; the benchmark modules call individual
+experiments with their own parameters.  Under the hood every experiment is
+a :class:`~repro.engine.ScenarioSpec` (see
+:mod:`repro.experiments.scenarios`) grouped into one
+:class:`~repro.engine.Experiment`, so runs can also emit machine-readable
+JSON artifacts via ``artifacts_dir``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
+from ..engine import Experiment, ScenarioResult, run_scenario, write_artifacts
 from ..metrics import ResultTable, render_tables
-from . import scenarios
+from .scenarios import SPEC_FACTORIES
 
 #: Parameter overrides for a fast smoke run of every experiment.
 QUICK_PARAMETERS: dict[str, dict] = {
@@ -22,7 +28,11 @@ QUICK_PARAMETERS: dict[str, dict] = {
     "E5": {"peer_counts": (8, 16), "latency_presets": ("lan", "wan"), "commits_per_setting": 5},
     "E6": {"updater_counts": (2, 4), "peers": 10},
     "E7": {"replication_factors": (1, 2, 3), "crashed_log_peers": 1, "peers": 12, "entries": 6},
-    "E8": {"peer_counts": (8, 16), "lookups": 20},
+    "E8": {"peer_counts": (8, 16), "lookups": 20, "hot_lookups": 8},
+    "E9": {"zipf_exponents": (0.0, 1.5), "peers": 10, "documents": 12, "waves": 4,
+           "writers_per_wave": 3},
+    "E10": {"profiles": ("stable", "aggressive"), "peers": 10, "duration": 15.0,
+            "commit_interval": 1.5},
 }
 
 #: Parameters closer to the paper's demonstration scale (slower).
@@ -36,7 +46,11 @@ FULL_PARAMETERS: dict[str, dict] = {
     "E6": {"updater_counts": (2, 4, 8), "peers": 16},
     "E7": {"replication_factors": (1, 2, 3, 4), "crashed_log_peers": 2, "peers": 16,
            "entries": 12},
-    "E8": {"peer_counts": (8, 16, 32, 64), "lookups": 40},
+    "E8": {"peer_counts": (8, 16, 32, 64), "lookups": 40, "hot_lookups": 16},
+    "E9": {"zipf_exponents": (0.0, 0.8, 1.5, 2.5), "peers": 16, "documents": 24,
+           "waves": 8, "writers_per_wave": 4},
+    "E10": {"profiles": ("stable", "gentle", "aggressive"), "peers": 14,
+            "duration": 30.0, "commit_interval": 1.0},
 }
 
 
@@ -47,28 +61,71 @@ class ExperimentRun:
     experiment_id: str
     table: ResultTable
     parameters: dict = field(default_factory=dict)
+    result: Optional[ScenarioResult] = None
+
+
+def paper_experiment(*, quick: bool = True) -> Experiment:
+    """The whole evaluation as one :class:`~repro.engine.Experiment`.
+
+    Every registered scenario is instantiated with the quick or full
+    parameter profile; ``Experiment.run(only=...)`` then selects subsets.
+    """
+    profile = QUICK_PARAMETERS if quick else FULL_PARAMETERS
+    specs = [
+        factory(**profile.get(experiment_id, {}))
+        for experiment_id, factory in SPEC_FACTORIES.items()
+    ]
+    return Experiment(
+        name="p2p-ltr-evaluation",
+        description="P2P-LTR reproduction: paper scenarios E1..E8 plus extensions",
+        specs=specs,
+    )
 
 
 def run_experiment(experiment_id: str, *, quick: bool = True,
                    overrides: Optional[dict] = None) -> ExperimentRun:
-    """Run one experiment by id (``"E1"`` .. ``"E8"``)."""
-    functions: dict[str, Callable[..., ResultTable]] = dict(scenarios.iter_all_experiments())
-    if experiment_id not in functions:
-        raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(functions)}")
+    """Run one experiment by id (``"E1"`` .. ``"E10"``)."""
+    factory = SPEC_FACTORIES.get(experiment_id)
+    if factory is None:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {list(SPEC_FACTORIES)}"
+        )
     parameters = dict((QUICK_PARAMETERS if quick else FULL_PARAMETERS).get(experiment_id, {}))
     if overrides:
         parameters.update(overrides)
-    table = functions[experiment_id](**parameters)
-    return ExperimentRun(experiment_id=experiment_id, table=table, parameters=parameters)
+    result = run_scenario(factory(**parameters))
+    return ExperimentRun(
+        experiment_id=experiment_id,
+        table=result.table,
+        parameters=parameters,
+        result=result,
+    )
 
 
-def run_all(*, quick: bool = True, only: Optional[Sequence[str]] = None) -> list[ExperimentRun]:
-    """Run every experiment (or the subset in ``only``) and return the results."""
-    runs = []
-    for experiment_id, _function in scenarios.iter_all_experiments():
-        if only is not None and experiment_id not in only:
-            continue
-        runs.append(run_experiment(experiment_id, quick=quick))
+def run_all(
+    *,
+    quick: bool = True,
+    only: Optional[Sequence[str]] = None,
+    artifacts_dir: Optional[Union[str, Path]] = None,
+) -> list[ExperimentRun]:
+    """Run every experiment (or the subset in ``only``) and return the results.
+
+    Unknown ids in ``only`` raise :class:`KeyError`.  When ``artifacts_dir``
+    is given, one JSON artifact per experiment is written there.
+    """
+    profile = QUICK_PARAMETERS if quick else FULL_PARAMETERS
+    results = paper_experiment(quick=quick).run(only=only)
+    runs = [
+        ExperimentRun(
+            experiment_id=result.scenario_id,
+            table=result.table,
+            parameters=dict(profile.get(result.scenario_id, {})),
+            result=result,
+        )
+        for result in results
+    ]
+    if artifacts_dir is not None:
+        write_artifacts([run.result for run in runs], artifacts_dir)
     return runs
 
 

@@ -159,9 +159,10 @@ class Simulator:
         while self._queue and self._queue[0][0] <= limit:
             self.step()
         if until is not None:
-            self._now = max(self._now, min(limit, self.peek(), limit))
-            if limit != float("inf"):
-                self._now = limit if self._now < limit else self._now
+            # The loop only processes events at times <= limit, so the clock
+            # can be behind the requested time (sparse or empty queue).
+            # Advance it to exactly the requested time.
+            self._now = max(self._now, limit)
         return None
 
     def _run_until_event(self, until: Event) -> Any:

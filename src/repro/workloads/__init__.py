@@ -9,6 +9,13 @@ from .edits import (
     generate_workload,
     single_document_contention,
 )
+from .skew import (
+    document_frequencies,
+    generate_zipf_workload,
+    hot_document_share,
+    sample_zipf_rank,
+    zipf_weights,
+)
 
 __all__ = [
     "ChurnProfile",
@@ -19,9 +26,14 @@ __all__ = [
     "EditWorkload",
     "PROFILES",
     "apply_churn_action",
+    "document_frequencies",
     "generate_churn_schedule",
     "generate_corpus",
     "generate_document",
     "generate_workload",
+    "generate_zipf_workload",
+    "hot_document_share",
+    "sample_zipf_rank",
     "single_document_contention",
+    "zipf_weights",
 ]

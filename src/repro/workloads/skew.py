@@ -1,0 +1,96 @@
+"""Skewed document popularity: Zipf-distributed editing workloads.
+
+Real wikis are heavily skewed — a few hot pages receive most of the edits
+while the long tail is touched rarely.  This module samples documents from
+a (truncated) Zipf distribution, producing workloads between the two
+extremes the paper demonstrates: ``s = 0`` is the uniform spread of E1 and
+``s -> inf`` degenerates into E2's single hot document.  The scenario
+family E9 sweeps ``s`` to show how contention concentrates on one
+Master-key peer as the skew grows.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Sequence
+
+from .edits import EDIT_KINDS, EditAction, EditWorkload
+
+
+def zipf_weights(count: int, s: float) -> list[float]:
+    """Unnormalized Zipf weights ``1 / rank**s`` for ranks ``1..count``.
+
+    ``s = 0`` gives a uniform distribution; larger ``s`` concentrates the
+    mass on the first ranks.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if s < 0:
+        raise ValueError(f"zipf exponent must be >= 0, got {s}")
+    return [1.0 / (rank ** s) for rank in range(1, count + 1)]
+
+
+def sample_zipf_rank(rng: random.Random, weights: Sequence[float]) -> int:
+    """One 0-based rank drawn from the given Zipf weights."""
+    total = sum(weights)
+    pick = rng.random() * total
+    cumulative = 0.0
+    for rank, weight in enumerate(weights):
+        cumulative += weight
+        if pick < cumulative:
+            return rank
+    return len(weights) - 1
+
+
+def generate_zipf_workload(
+    *,
+    peers: Sequence[str],
+    documents: Sequence[str],
+    waves: int,
+    writers_per_wave: int,
+    s: float = 1.0,
+    seed: int = 0,
+) -> EditWorkload:
+    """A deterministic editing workload with Zipf-skewed document choice.
+
+    Documents keep their given order: ``documents[0]`` is the hottest page.
+    Every wave picks ``writers_per_wave`` distinct peers; each writer edits
+    a document drawn independently from the Zipf distribution, so one wave
+    can contain both contention (two writers on the hot page) and
+    uncontended edits on the tail.
+    """
+    if writers_per_wave > len(peers):
+        raise ValueError(
+            f"writers_per_wave ({writers_per_wave}) exceeds available peers ({len(peers)})"
+        )
+    if not documents:
+        raise ValueError("at least one document is required")
+    weights = zipf_weights(len(documents), s)
+    rng = random.Random(seed)
+    workload = EditWorkload(seed=seed)
+    for wave in range(waves):
+        writers = rng.sample(list(peers), writers_per_wave)
+        for writer in writers:
+            rank = sample_zipf_rank(rng, weights)
+            kind = rng.choices(EDIT_KINDS, weights=(0.6, 0.3, 0.1))[0]
+            line = f"[wave {wave}] {writer} edits rank-{rank} page"
+            workload.actions.append(
+                EditAction(peer=writer, document_key=documents[rank], kind=kind,
+                           line=line, wave=wave)
+            )
+    return workload
+
+
+def document_frequencies(workload: EditWorkload) -> Counter:
+    """Edit counts per document key, hottest first when iterated via
+    :meth:`Counter.most_common`."""
+    return Counter(action.document_key for action in workload.actions)
+
+
+def hot_document_share(workload: EditWorkload) -> float:
+    """Fraction of all edits landing on the single most edited document."""
+    frequencies = document_frequencies(workload)
+    if not workload.actions:
+        return 0.0
+    return frequencies.most_common(1)[0][1] / len(workload.actions)

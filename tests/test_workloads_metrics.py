@@ -20,10 +20,15 @@ from repro.workloads import (
     PROFILES,
     ChurnProfile,
     apply_churn_action,
+    document_frequencies,
     generate_churn_schedule,
     generate_corpus,
     generate_workload,
+    generate_zipf_workload,
+    hot_document_share,
+    sample_zipf_rank,
     single_document_contention,
+    zipf_weights,
 )
 
 
@@ -108,6 +113,64 @@ def test_edit_action_mutations():
         assert isinstance(lines, list)
     # appends dominate, so the document generally grows
     assert len(lines) >= 1
+
+
+# ---------------------------------------------------------------------------
+# zipf-skewed workloads
+# ---------------------------------------------------------------------------
+
+
+def test_zipf_weights_shapes():
+    assert zipf_weights(4, 0.0) == [1.0, 1.0, 1.0, 1.0]
+    weights = zipf_weights(4, 1.0)
+    assert weights == [1.0, 0.5, pytest.approx(1 / 3), 0.25]
+    with pytest.raises(ValueError):
+        zipf_weights(0, 1.0)
+    with pytest.raises(ValueError):
+        zipf_weights(4, -0.5)
+
+
+def test_sample_zipf_rank_respects_weights():
+    rng = random.Random(0)
+    weights = zipf_weights(10, 2.0)
+    ranks = [sample_zipf_rank(rng, weights) for _ in range(500)]
+    assert all(0 <= rank < 10 for rank in ranks)
+    # With s=2 the head rank must dominate.
+    assert ranks.count(0) > len(ranks) / 2
+
+
+def test_generate_zipf_workload_is_deterministic_and_skewed():
+    peers = [f"p{index}" for index in range(6)]
+    documents = [f"doc-{index}" for index in range(12)]
+    first = generate_zipf_workload(peers=peers, documents=documents, waves=8,
+                                   writers_per_wave=3, s=1.5, seed=7)
+    second = generate_zipf_workload(peers=peers, documents=documents, waves=8,
+                                    writers_per_wave=3, s=1.5, seed=7)
+    assert first.actions == second.actions
+    assert len(first) == 24
+    uniform = generate_zipf_workload(peers=peers, documents=documents, waves=8,
+                                     writers_per_wave=3, s=0.0, seed=7)
+    assert hot_document_share(first) > hot_document_share(uniform)
+    frequencies = document_frequencies(first)
+    assert sum(frequencies.values()) == len(first)
+    # the hottest document sits at the head of the declared order (within
+    # sampling noise: 24 draws can swap the first couple of ranks)
+    assert frequencies.most_common(1)[0][0] in {"doc-0", "doc-1", "doc-2"}
+
+
+def test_generate_zipf_workload_validates_inputs():
+    with pytest.raises(ValueError):
+        generate_zipf_workload(peers=["p0"], documents=["d"], waves=1,
+                               writers_per_wave=2, s=1.0)
+    with pytest.raises(ValueError):
+        generate_zipf_workload(peers=["p0"], documents=[], waves=1,
+                               writers_per_wave=1, s=1.0)
+
+
+def test_hot_document_share_empty_workload():
+    workload = generate_zipf_workload(peers=["p0"], documents=["d"], waves=0,
+                                      writers_per_wave=1, s=1.0)
+    assert hot_document_share(workload) == 0.0
 
 
 # ---------------------------------------------------------------------------
