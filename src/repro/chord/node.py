@@ -431,6 +431,29 @@ class ChordNode:
             self._push_replicas([item])
         return True
 
+    def rpc_store_many(self, items: list[dict], is_replica: bool = False) -> int:
+        """Store a batch of items locally with one replication push.
+
+        ``items`` is a list of ``{"key", "value", "key_id"}`` mappings.  This
+        is the server side of the batched commit pipeline: a whole commit
+        batch headed for this node lands in one RPC, and the successor
+        replicas receive one ``receive_items`` notification instead of one
+        per item.
+        """
+        stored = [
+            self.storage.put(
+                entry["key"],
+                entry["value"],
+                is_replica=is_replica,
+                now=self.sim.now,
+                key_id=entry.get("key_id"),
+            )
+            for entry in items
+        ]
+        if not is_replica and stored:
+            self._push_replicas(stored)
+        return len(stored)
+
     def rpc_fetch(self, key: str) -> Any:
         """Return the locally stored value for ``key`` or raise KeyNotFound."""
         item = self.storage.get(key)
@@ -440,6 +463,19 @@ class ChordNode:
 
     def rpc_delete(self, key: str) -> bool:
         """Delete ``key`` locally; returns whether it existed."""
+        return self.storage.remove(key)
+
+    def rpc_delete_value(self, key: str, expected: Any) -> bool:
+        """Delete ``key`` only if it still holds ``expected`` (atomic here).
+
+        A compare-and-delete for retractions: the caller may be racing a
+        writer that legitimately re-used the storage key (e.g. a new
+        Master-key peer publishing the same ``key + ts`` placement), and
+        must never remove that writer's value.
+        """
+        item = self.storage.get(key)
+        if item is None or item.value != expected:
+            return False
         return self.storage.remove(key)
 
     def rpc_handoff_keys(self, requester: NodeRef) -> list[StoredItem]:

@@ -12,6 +12,7 @@ Sections 2 and 3 of the report:
 * :mod:`repro.core.consistency` — the eventual-consistency checks.
 """
 
+from .batch import CommitBatch
 from .config import LtrConfig
 from .consistency import (
     ConsistencyReport,
@@ -21,12 +22,24 @@ from .consistency import (
     verify_log_continuity,
 )
 from .master import MasterService
-from .protocol import STATUS_BEHIND, STATUS_OK, CommitResult, SyncResult, ValidationResult
+from .protocol import (
+    STATUS_BEHIND,
+    STATUS_OK,
+    STATUS_REJECTED,
+    BatchCommitResult,
+    BatchValidationResult,
+    CommitResult,
+    SyncResult,
+    ValidationResult,
+)
 from .system import DEFAULT_CHORD_CONFIG, LtrSystem
 from .user_peer import UserPeer
 
 __all__ = [
     "DEFAULT_CHORD_CONFIG",
+    "BatchCommitResult",
+    "BatchValidationResult",
+    "CommitBatch",
     "CommitResult",
     "ConsistencyReport",
     "LtrConfig",
@@ -34,6 +47,7 @@ __all__ = [
     "MasterService",
     "STATUS_BEHIND",
     "STATUS_OK",
+    "STATUS_REJECTED",
     "SyncResult",
     "UserPeer",
     "ValidationResult",

@@ -1,0 +1,109 @@
+"""Commit batches: size- and deadline-bounded accumulation of edits.
+
+The paper's commit protocol pays one Master round-trip, one KTS timestamp
+and one multi-placement log publish *per edit*.  A :class:`CommitBatch`
+accumulates a user peer's consecutive edits of one document so the whole
+batch is committed through a single round of each: the Master validates the
+batch's base timestamp once, allocates a dense timestamp range through
+``next_timestamps(key, n)`` and lands every entry in the P2P-Log with one
+replicated write per responsible Log-Peer.
+
+A batch is bounded two ways (both config-gated via
+:class:`~repro.core.config.LtrConfig`):
+
+* **size** — once ``batch_max_edits`` patches are staged the batch is
+  *full* and must be flushed before more edits are staged;
+* **deadline** — a non-empty batch older than ``batch_deadline`` simulated
+  seconds reports itself as *due*, so drivers flushing on a timer never
+  park a trickle of edits indefinitely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..ot import Patch
+
+
+@dataclass
+class CommitBatch:
+    """Edits of one document staged for a single batched commit.
+
+    The staged patches form a chain: each patch is expressed against the
+    state produced by its predecessor (the first against the replica's
+    validated state), so committing them in order with consecutive
+    timestamps reproduces the user's editing history exactly.
+    """
+
+    key: str
+    opened_at: float
+    max_edits: int = 16
+    deadline: float = 0.25
+    patches: list[Patch] = field(default_factory=list)
+    #: Memoized output of applying the whole chain to the base lines it was
+    #: last materialised from (see :meth:`tip_lines`); staging N edits is
+    #: O(N) patch applications instead of O(N^2).
+    _tip: Optional[list[str]] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_edits < 1:
+            raise ValueError(f"max_edits must be >= 1, got {self.max_edits}")
+        if self.deadline < 0:
+            raise ValueError(f"deadline must be >= 0, got {self.deadline}")
+
+    def __len__(self) -> int:
+        return len(self.patches)
+
+    @property
+    def full(self) -> bool:
+        """``True`` once the size bound is reached (flush before staging more)."""
+        return len(self.patches) >= self.max_edits
+
+    def tip_lines(self, base_lines: Sequence[str]) -> list[str]:
+        """The chain's output when applied on top of ``base_lines``.
+
+        The result is memoized; it stays valid while the base (the
+        replica's validated state) is unchanged, which the user peer
+        guarantees by replacing the chain through :meth:`replace_patches`
+        whenever the replica advances under the batch.
+        """
+        if not self.patches:
+            # An empty chain has no state of its own: never memoize the
+            # base, which may advance while the batch sits empty.
+            return list(base_lines)
+        if self._tip is None:
+            lines = list(base_lines)
+            for patch in self.patches:
+                lines = patch.apply(lines)
+            self._tip = lines
+        return list(self._tip)
+
+    def add(self, patch: Patch, *, tip: Optional[Sequence[str]] = None) -> None:
+        """Stage one more patch; refuses to grow past the size bound.
+
+        ``tip`` (the chain's output including ``patch``) keeps the memoized
+        tip current; without it the memo is dropped and recomputed lazily.
+        """
+        if self.full:
+            raise ValueError(
+                f"batch for {self.key!r} already holds {len(self.patches)} edits "
+                f"(max_edits={self.max_edits}); flush it first"
+            )
+        self.patches.append(patch)
+        self._tip = list(tip) if tip is not None else None
+
+    def replace_patches(self, patches: Sequence[Patch]) -> None:
+        """Swap the whole chain (rebase after a sync or a failed flush)."""
+        self.patches = list(patches)
+        self._tip = None
+
+    def age(self, now: float) -> float:
+        """Simulated seconds since the first edit was staged."""
+        return now - self.opened_at
+
+    def due(self, now: float) -> bool:
+        """``True`` when the batch should be flushed (full or past deadline)."""
+        if not self.patches:
+            return False
+        return self.full or self.age(now) >= self.deadline

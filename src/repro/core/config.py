@@ -34,6 +34,23 @@ class LtrConfig:
         When ``True``, user peers fetch all missing patches of a retrieval
         round concurrently instead of one timestamp at a time (the ablation
         discussed in ``DESIGN.md`` §6); the integration order is unchanged.
+    batch_enabled:
+        When ``True``, user peers may accumulate edits into a
+        :class:`~repro.core.batch.CommitBatch` and commit the whole batch
+        through one Master round-trip, one KTS range allocation and one
+        grouped P2P-Log publish (the batched commit pipeline, ``DESIGN.md``
+        §"Batched commit pipeline").  ``False`` (the default) keeps the
+        paper's one-round-trip-per-edit path; ``UserPeer.stage`` refuses to
+        run so the two modes cannot be mixed by accident.
+    batch_max_edits:
+        Size bound of a commit batch: ``stage`` marks the batch as full once
+        it holds this many edits, at which point it must be flushed before
+        more edits are staged.
+    batch_deadline:
+        Deadline bound, in simulated seconds: a non-empty batch older than
+        this is reported as due by ``CommitBatch.due`` / flushed by
+        ``LtrSystem.flush_due`` even when it is not full, so a trickle of
+        edits is never parked indefinitely.
     """
 
     log_replication_factor: int = 3
@@ -42,6 +59,9 @@ class LtrConfig:
     validation_retry_delay: float = 0.5
     publish_before_ack: bool = True
     parallel_retrieval: bool = False
+    batch_enabled: bool = False
+    batch_max_edits: int = 16
+    batch_deadline: float = 0.25
 
     def __post_init__(self) -> None:
         if self.log_replication_factor < 1:
@@ -59,4 +79,12 @@ class LtrConfig:
         if self.validation_retry_delay < 0:
             raise ConfigurationError(
                 f"validation_retry_delay must be >= 0, got {self.validation_retry_delay}"
+            )
+        if self.batch_max_edits < 1:
+            raise ConfigurationError(
+                f"batch_max_edits must be >= 1, got {self.batch_max_edits}"
+            )
+        if self.batch_deadline < 0:
+            raise ConfigurationError(
+                f"batch_deadline must be >= 0, got {self.batch_deadline}"
             )

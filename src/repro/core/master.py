@@ -24,11 +24,12 @@ from typing import Any, Optional
 
 from ..chord import HashFunctionFamily, NodeService
 from ..dht import ChordDhtClient
+from ..errors import PatchUnavailable
 from ..kts import TimestampAuthority
 from ..p2plog import LogEntry, P2PLogClient
 from ..sim import FifoLock
 from .config import LtrConfig
-from .protocol import ValidationResult
+from .protocol import BatchValidationResult, ValidationResult
 
 
 class MasterService(NodeService):
@@ -46,7 +47,12 @@ class MasterService(NodeService):
         self._locks: dict[str, FifoLock] = {}
         self.validations_ok = 0
         self.validations_behind = 0
+        self.validations_rejected = 0
         self.patches_published = 0
+        self.batches_ok = 0
+        self.batches_behind = 0
+        self.batches_rejected = 0
+        self.batch_edits_published = 0
 
     # -- NodeService wiring ------------------------------------------------------
 
@@ -57,6 +63,7 @@ class MasterService(NodeService):
             )
         self.log = P2PLogClient(ChordDhtClient(node), self._hash_family)
         node.rpc.expose("ltr_validate_and_publish", self.validate_and_publish)
+        node.rpc.expose("ltr_validate_and_publish_batch", self.validate_and_publish_batch)
         node.rpc.expose("ltr_last_ts", self.handle_last_ts)
 
     @property
@@ -97,47 +104,239 @@ class MasterService(NodeService):
         Generator RPC handler (it performs DHT puts while publishing).
         Returns a :class:`~repro.core.protocol.ValidationResult` payload.
         """
-        node = self.node
-        authority = self._authority()
         lock = self._lock_for(key)
+        retract: list[LogEntry] = []
         yield from lock.acquire()
         try:
-            last_ts = authority.last_ts(key)
-            if ts != last_ts + 1:
-                self.validations_behind += 1
-                node.sim.trace.annotate(
-                    node.sim.now,
-                    "ltr-master",
-                    f"{node.address.name} rejects {key}@{ts} from {author} "
-                    f"(last-ts={last_ts})",
-                )
-                return ValidationResult.behind(last_ts).to_payload()
-
-            entry = LogEntry(
-                document_key=key,
-                ts=ts,
-                patch=patch,
-                author=author,
-                published_at=node.sim.now,
-                base_ts=base_ts,
+            payload = yield from self._validate_one_locked(
+                key, ts, patch, author, base_ts, retract
             )
-            replicas = 0
-            if self.config.publish_before_ack:
-                replicas = yield from self.log.publish(entry)
-            validated_ts = authority.gen_ts(key)
-            if not self.config.publish_before_ack:
-                replicas = yield from self.log.publish(entry)
-            self.validations_ok += 1
-            self.patches_published += 1
+        finally:
+            lock.release()
+        if retract:
+            # Cleanup of a rejected in-flight publish happens outside the
+            # critical section — the removal round-trips need no
+            # serialization and must not stall queued proposers.
+            yield from self.log.retract_many(retract)
+        return payload
+
+    def _validate_one_locked(self, key: str, ts: int, patch: Any, author: str,
+                             base_ts: Optional[int], retract: list[LogEntry]):
+        """The critical section of :meth:`validate_and_publish`."""
+        node = self.node
+        authority = self._authority()
+        last_ts = authority.last_ts(key)
+        if ts != last_ts + 1:
+            self.validations_behind += 1
             node.sim.trace.annotate(
                 node.sim.now,
                 "ltr-master",
-                f"{node.address.name} validated {key}@{validated_ts} from {author} "
-                f"({replicas} log replicas)",
+                f"{node.address.name} rejects {key}@{ts} from {author} "
+                f"(last-ts={last_ts})",
             )
-            return ValidationResult.ok(validated_ts, replicas).to_payload()
-        finally:
-            lock.release()
+            return ValidationResult.behind(last_ts).to_payload()
+
+        entry = LogEntry(
+            document_key=key,
+            ts=ts,
+            patch=patch,
+            author=author,
+            published_at=node.sim.now,
+            base_ts=base_ts,
+        )
+        replicas = 0
+        if self.config.publish_before_ack:
+            replicas = yield from self.log.publish(entry)
+        if self._lost_master_role(key, last_ts):
+            # Re-election while the publish was in flight: advancing the
+            # (handed-off) counter would fork the timestamp sequence.
+            self.validations_rejected += 1
+            node.sim.trace.annotate(
+                node.sim.now,
+                "ltr-master",
+                f"{node.address.name} rejects in-flight patch for {key}: "
+                f"master role moved during publication",
+            )
+            if self.config.publish_before_ack:
+                retract.append(entry)
+            return ValidationResult.reelection(authority.last_ts(key)).to_payload()
+        validated_ts = authority.gen_ts(key)
+        if not self.config.publish_before_ack:
+            replicas = yield from self.log.publish(entry)
+        self.validations_ok += 1
+        self.patches_published += 1
+        node.sim.trace.annotate(
+            node.sim.now,
+            "ltr-master",
+            f"{node.address.name} validated {key}@{validated_ts} from {author} "
+            f"({replicas} log replicas)",
+        )
+        return ValidationResult.ok(validated_ts, replicas).to_payload()
+
+    def validate_and_publish_batch(self, key: str, ts: int, patches: Any,
+                                   author: str = "unknown",
+                                   base_ts: Optional[int] = None):
+        """Validate and publish a whole commit batch under one critical section.
+
+        Generator RPC handler, the batched counterpart of
+        :meth:`validate_and_publish`: if the proposed base timestamp equals
+        ``last-ts + 1`` the Master publishes *all* of the batch's patches at
+        the Log-Peers through one grouped write per responsible peer
+        (:meth:`~repro.p2plog.P2PLogClient.append_many`) and consumes one
+        dense timestamp range through
+        :meth:`~repro.kts.TimestampAuthority.next_timestamps` — one KTS
+        advance and one replica push for the whole batch.
+
+        The batch is atomic: it either commits completely or not at all.  In
+        particular, when a re-election moves the Master-key role away while
+        the (yielding) log publication is in flight, the handler detects the
+        hand-over before advancing any timestamp and answers ``rejected``
+        without consuming the range — the user peer re-proposes, and routing
+        delivers the retry to the new Master.  Without that guard the old
+        Master would resurrect a counter it no longer owns and fork the
+        timestamp sequence (see ``tests/test_core_master.py``).
+        """
+        lock = self._lock_for(key)
+        retract: list[LogEntry] = []
+        yield from lock.acquire()
+        try:
+            try:
+                payload = yield from self._validate_batch_locked(
+                    key, ts, patches, author, base_ts, retract
+                )
+            finally:
+                lock.release()
+        except PatchUnavailable:
+            # Partial publish failure: what landed carries timestamps that
+            # were never allocated.  Clean up *after* releasing the lock —
+            # the removal round-trips need no serialization, and holding
+            # the lock through them would stall every other proposer.
+            if retract:
+                yield from self.log.retract_many(retract)
+            raise
+        if retract:
+            yield from self.log.retract_many(retract)
+        return payload
+
+    def _validate_batch_locked(self, key: str, ts: int, patches: Any, author: str,
+                               base_ts: Optional[int], retract: list[LogEntry]):
+        """The critical section of :meth:`validate_and_publish_batch`.
+
+        Runs with the per-document lock held.  Entries that must be removed
+        from the log (rejected or partially-failed publishes) are appended
+        to ``retract``; the caller performs the removal after the lock is
+        released.
+        """
+        node = self.node
+        authority = self._authority()
+        patches = list(patches)
+        if not patches:
+            raise ValueError(f"empty commit batch proposed for {key!r}")
+        last_ts = authority.last_ts(key)
+        if ts != last_ts + 1:
+            self.batches_behind += 1
+            node.sim.trace.annotate(
+                node.sim.now,
+                "ltr-master",
+                f"{node.address.name} rejects batch {key}@{ts}(+{len(patches)}) "
+                f"from {author} (last-ts={last_ts})",
+            )
+            return BatchValidationResult.behind(last_ts).to_payload()
+
+        entries = [
+            LogEntry(
+                document_key=key,
+                ts=ts + offset,
+                patch=patch,
+                author=author,
+                published_at=node.sim.now,
+                # The chain: patch `offset` is expressed against the
+                # state produced by its predecessor, i.e. `offset`
+                # timestamps past the batch's base.
+                base_ts=(base_ts + offset) if base_ts is not None else None,
+            )
+            for offset, patch in enumerate(patches)
+        ]
+        replicas = 0
+        if self.config.publish_before_ack:
+            try:
+                per_entry = yield from self.log.append_many(entries)
+            except PatchUnavailable:
+                # Partial publish: what landed carries timestamps that were
+                # never allocated — schedule it for removal, then propagate
+                # so the proposer keeps its batch staged and retries.
+                retract.extend(entries)
+                raise
+            replicas = min(per_entry)
+        # Re-election check before any timestamp is consumed: the publish
+        # above yields, and even the lock acquisition can span a takeover,
+        # so the Master role may have moved since the request arrived (in
+        # either ordering mode).
+        if self._lost_master_role(key, last_ts):
+            self.batches_rejected += 1
+            node.sim.trace.annotate(
+                node.sim.now,
+                "ltr-master",
+                f"{node.address.name} rejects in-flight batch for {key}: "
+                f"master role moved during publication",
+            )
+            if self.config.publish_before_ack:
+                # The published entries carry timestamps that were never
+                # allocated; retract them so no reader can observe them
+                # before the new Master reuses the range.
+                retract.extend(entries)
+            return BatchValidationResult.reelection(
+                authority.last_ts(key)
+            ).to_payload()
+        first_ts = authority.next_timestamps(key, len(patches))
+        if not self.config.publish_before_ack:
+            # Timestamps are consumed at this point, so a partial publish
+            # failure must NOT retract what landed (that would turn an
+            # incomplete prefix into a permanent gap); the error propagates
+            # and the proposer's restaged batch re-publishes under the same
+            # semantics as the unbatched ack-before-publish ablation.
+            per_entry = yield from self.log.append_many(entries)
+            replicas = min(per_entry)
+        self.batches_ok += 1
+        self.batch_edits_published += len(patches)
+        node.sim.trace.annotate(
+            node.sim.now,
+            "ltr-master",
+            f"{node.address.name} validated batch {key}@{first_ts}.."
+            f"{first_ts + len(patches) - 1} from {author} "
+            f"({replicas} log replicas)",
+        )
+        return BatchValidationResult.ok(
+            first_ts, first_ts + len(patches) - 1, replicas
+        ).to_payload()
+
+    def _lost_master_role(self, key: str, expected_last_ts: int) -> bool:
+        """Did a re-election move the Master-key role away mid-request?
+
+        The log publication yields (and even the lock acquisition can span a
+        takeover), so a join can take over the arc holding ``ht(key)`` —
+        hand-off moves the counter away — while a validation is in flight.
+        Advancing the counter afterwards would create a *local* stale copy
+        diverging from the new Master's authoritative one and fork the
+        timestamp sequence.  This predicate re-checks, before any timestamp
+        is consumed, that this node still holds the authoritative counter
+        and that ``last-ts`` is untouched; callers reject the whole request
+        atomically when it returns ``True``.
+        """
+        node = self.node
+        authority = self._authority()
+        owned = authority.owns_counter(key)
+        still_responsible = (
+            node is not None
+            and node.alive
+            # A hand-off downgrades the local counter to a replica before the
+            # predecessor pointer reflects the joiner, so the ownership check
+            # must come first; when no counter materialised yet (last-ts 0),
+            # fall back to the ring's responsibility interval.
+            and (owned if owned is not None
+                 else node.is_responsible_for(authority.placement_id(key)))
+        )
+        return not (still_responsible and authority.last_ts(key) == expected_last_ts)
 
     # -- diagnostics ------------------------------------------------------------------
 
@@ -150,7 +349,12 @@ class MasterService(NodeService):
         stats = {
             "validations_ok": self.validations_ok,
             "validations_behind": self.validations_behind,
+            "validations_rejected": self.validations_rejected,
             "patches_published": self.patches_published,
+            "batches_ok": self.batches_ok,
+            "batches_behind": self.batches_behind,
+            "batches_rejected": self.batches_rejected,
+            "batch_edits_published": self.batch_edits_published,
             "keys_mastered": len(self.keys_mastered()) if self.node is not None else 0,
         }
         if self.log is not None:

@@ -22,7 +22,7 @@ from ..sim import Simulator
 from .config import LtrConfig
 from .consistency import ConsistencyReport, build_report, verify_log_continuity
 from .master import MasterService
-from .protocol import CommitResult
+from .protocol import BatchCommitResult, CommitResult
 from .user_peer import UserPeer
 
 #: Chord parameters sized for interactive experiments (small rings, fast churn).
@@ -137,6 +137,55 @@ class LtrSystem:
         """Convenience: edit then commit in one call."""
         self.edit(peer, key, text, comment=comment)
         return self.commit(peer, key)
+
+    # --------------------------------------------------------- batched drivers --
+
+    def stage(self, peer: str, key: str, text: str,
+              *, comment: str = "") -> Optional[BatchCommitResult]:
+        """Stage an edit into ``peer``'s commit batch; auto-flush when full.
+
+        Requires ``ltr_config.batch_enabled``.  Returns the flush outcome
+        when the staged edit filled the batch, ``None`` otherwise.
+        """
+        batch = self.user(peer).stage(key, text, comment=comment)
+        if batch.full:
+            return self.flush(peer, key)
+        return None
+
+    def flush(self, peer: str, key: str) -> Optional[BatchCommitResult]:
+        """Flush ``peer``'s staged batch of ``key`` through one batched commit."""
+        return self.sim.run(until=self.sim.process(self.user(peer).flush(key)))
+
+    def flush_due(self, peer: Optional[str] = None) -> list[BatchCommitResult]:
+        """Flush every batch past its deadline (for one peer or all users)."""
+        users = [self.user(peer)] if peer is not None else self.users()
+        results = []
+        for user in users:
+            for key in [key for key, batch in user.batches.items()
+                        if batch.due(self.sim.now)]:
+                outcome = self.flush(user.author, key)
+                if outcome is not None:
+                    results.append(outcome)
+        return results
+
+    def run_concurrent_flushes(
+        self, flushes: Iterable[tuple[str, str]]
+    ) -> list[BatchCommitResult]:
+        """Flush several peers' batches at the same simulated instant.
+
+        ``flushes`` is a sequence of ``(peer, key)``; the batched analogue
+        of :meth:`run_concurrent_commits`.
+        """
+        processes = [
+            self.sim.process(self.user(peer).flush(key), name=f"flush:{peer}:{key}")
+            for peer, key in flushes
+        ]
+        results: list[BatchCommitResult] = []
+        for process in processes:
+            outcome = self.sim.run(until=process)
+            if outcome is not None:
+                results.append(outcome)
+        return results
 
     def sync(self, peer: str, key: str):
         """Bring ``peer``'s replica of ``key`` up to date."""

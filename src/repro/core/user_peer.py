@@ -21,15 +21,30 @@ from typing import Any, Callable, Optional, Sequence
 from ..chord import ChordNode, HashFunctionFamily, timestamp_hash
 from ..dht import ChordDhtClient
 from ..errors import (
+    ConfigurationError,
     MasterUnavailable,
     NodeUnreachable,
+    ReproError,
     RequestTimeout,
     ValidationFailed,
 )
-from ..ot import Document, Patch, integrate_remote_patches, make_patch
+from ..ot import (
+    Document,
+    Patch,
+    integrate_remote_into_staged,
+    integrate_remote_patches,
+    make_patch,
+)
 from ..p2plog import P2PLogClient
+from .batch import CommitBatch
 from .config import LtrConfig
-from .protocol import CommitResult, SyncResult, ValidationResult
+from .protocol import (
+    BatchCommitResult,
+    BatchValidationResult,
+    CommitResult,
+    SyncResult,
+    ValidationResult,
+)
 
 _ROUTING_ERRORS = (RequestTimeout, NodeUnreachable)
 
@@ -57,7 +72,10 @@ class UserPeer:
         self.log = P2PLogClient(self.dht, hash_family)
         self.documents: dict[str, Document] = {}
         self.pending: dict[str, Patch] = {}
+        self.batches: dict[str, CommitBatch] = {}
+        self._flushing: set[str] = set()
         self.commit_results: list[CommitResult] = []
+        self.batch_results: list[BatchCommitResult] = []
         self.sync_results: list[SyncResult] = []
 
     # ------------------------------------------------------------ local copies --
@@ -108,6 +126,12 @@ class UserPeer:
         comment: str = "",
     ) -> Patch:
         """Apply ``mutate`` to the working copy and record the tentative patch."""
+        batch = self.batches.get(key)
+        if (batch is not None and len(batch) > 0) or key in self._flushing:
+            raise ConfigurationError(
+                f"{key!r} has a staged or in-flight commit batch; flush or "
+                f"discard it before using the unbatched edit() path"
+            )
         replica = self.document(key)
         before = self.working_lines(key)
         after = list(mutate(list(before)))
@@ -123,6 +147,80 @@ class UserPeer:
     def discard_pending(self, key: str) -> None:
         """Drop local tentative edits of ``key`` without publishing them."""
         self.pending.pop(key, None)
+
+    # ----------------------------------------------------------- batched editing --
+
+    def batch(self, key: str) -> Optional[CommitBatch]:
+        """The open commit batch for ``key``, if any."""
+        return self.batches.get(key)
+
+    def staged_lines(self, key: str) -> list[str]:
+        """The document as the staging user sees it: validated state plus batch."""
+        replica = self.document(key)
+        batch = self.batches.get(key)
+        if batch is None:
+            return list(replica.lines)
+        return batch.tip_lines(replica.lines)
+
+    def stage(self, key: str, new_text: str, *, comment: str = "") -> CommitBatch:
+        """Stage one edit of ``key`` into the open commit batch.
+
+        Unlike :meth:`edit`, consecutive staged edits are *not* composed:
+        each keeps its own patch (and will receive its own timestamp and log
+        entry), chained against its predecessor's output.  The batch must be
+        flushed with :meth:`flush` once it is full or due.  Requires
+        ``config.batch_enabled`` — the batched and unbatched pipelines are
+        never mixed implicitly.
+        """
+        if not self.config.batch_enabled:
+            raise ConfigurationError(
+                "UserPeer.stage requires LtrConfig(batch_enabled=True); "
+                "use edit()/commit() for the unbatched path"
+            )
+        if self.has_pending(key):
+            raise ConfigurationError(
+                f"{key!r} has a pending unbatched edit; commit or discard it "
+                f"before staging into a batch"
+            )
+        if key in self._flushing:
+            raise ConfigurationError(
+                f"a flush of {key!r} is in flight; stage again once it "
+                f"completes (edits staged now could be lost or mis-based)"
+            )
+        now = self.node.sim.now
+        replica = self.document(key)
+        batch = self.batches.get(key)
+        before = (batch.tip_lines(replica.lines) if batch is not None
+                  else list(replica.lines))
+        after = new_text.split("\n") if new_text else []
+        patch = make_patch(before, after, base_ts=replica.applied_ts,
+                           author=self.author, comment=comment)
+        if len(patch) == 0:
+            # A no-op edit deserves no timestamp or log entry — and must not
+            # open (or age) a batch, or the deadline clock would start
+            # before the first real edit.
+            if batch is None:
+                batch = CommitBatch(
+                    key=key, opened_at=now,
+                    max_edits=self.config.batch_max_edits,
+                    deadline=self.config.batch_deadline,
+                )  # returned for inspection, deliberately not registered
+            return batch
+        if batch is None:
+            batch = CommitBatch(
+                key=key, opened_at=now,
+                max_edits=self.config.batch_max_edits,
+                deadline=self.config.batch_deadline,
+            )
+            self.batches[key] = batch
+        elif len(batch) == 0:
+            batch.opened_at = now  # the deadline runs from the first real edit
+        batch.add(patch, tip=after)
+        return batch
+
+    def discard_batch(self, key: str) -> None:
+        """Drop the staged batch of ``key`` without publishing it."""
+        self.batches.pop(key, None)
 
     # --------------------------------------------------------------------- commit --
 
@@ -189,6 +287,13 @@ class UserPeer:
                 )
                 return commit
 
+            if result.rejected:
+                # Atomic rejection (re-election mid-publication): nothing
+                # was committed; retry after a stabilization-sized pause so
+                # the re-routed proposal reaches the new Master.
+                yield self.node.sim.timeout(self.config.validation_retry_delay)
+                continue
+
             # We are behind: run the retrieval procedure and try again.
             entries = yield from self.log.fetch_range(
                 key, replica.applied_ts + 1, result.last_ts,
@@ -199,6 +304,123 @@ class UserPeer:
             )
             pending = merge.rebased_local
             retrieved_total += len(entries)
+
+    # ----------------------------------------------------------------- batch flush --
+
+    def flush(self, key: str):
+        """Commit the staged batch of ``key`` in one pipelined round (process).
+
+        The batched counterpart of :meth:`commit`: the whole batch is
+        proposed to the Master-key peer in a single
+        ``ltr_validate_and_publish_batch`` round-trip.  On *behind*, the
+        missing patches are retrieved and every staged patch is rebased
+        (preserving the chain) before retrying; on *rejected* (the Master
+        lost the key to a re-election mid-flight) the proposal is simply
+        retried, which re-routes it to the new Master.  Returns a
+        :class:`~repro.core.protocol.BatchCommitResult`, or ``None`` when
+        the batch was empty or absent.
+        """
+        started_at = self.node.sim.now
+        replica = self.document(key)
+        batch = self.batches.pop(key, None)
+        if batch is None or len(batch) == 0:
+            return None
+        staged = list(batch.patches)
+
+        staged_box = [staged]
+        self._flushing.add(key)  # stage() refuses this key until we finish
+        try:
+            outcome = yield from self._flush_loop(key, replica, staged_box, started_at)
+            return outcome
+        except ReproError:
+            # Whatever went wrong — unreachable Master, failed publish at
+            # the Log-Peers, a failed behind-path retrieval, too many
+            # attempts — nothing was committed: the (possibly rebased)
+            # edits go back into the batch for a later flush.
+            self._restage(key, batch, staged_box[0])
+            raise
+        finally:
+            self._flushing.discard(key)
+
+    def _flush_loop(self, key: str, replica: Document, staged_box: list[list[Patch]],
+                    started_at: float):
+        """The validate → retrieve → retry loop of :meth:`flush` (process).
+
+        ``staged_box[0]`` always names the current (rebased) chain so the
+        caller can restage it when any round raises.
+        """
+        staged = staged_box[0]
+        attempts = 0
+        retrieved_total = 0
+        while True:
+            attempts += 1
+            if attempts > self.config.max_validation_attempts:
+                raise ValidationFailed(
+                    f"{self.author} could not validate a batch of {len(staged)} "
+                    f"edits for {key!r} after {attempts - 1} attempts"
+                )
+            proposal_ts = replica.applied_ts + 1
+            payload = yield from self._call_master(
+                key,
+                "ltr_validate_and_publish_batch",
+                ts=proposal_ts,
+                patches=staged,
+                author=self.author,
+                base_ts=replica.applied_ts,
+            )
+            result = BatchValidationResult.from_payload(payload)
+
+            if result.accepted:
+                for offset, patch in enumerate(staged):
+                    entry_ts = result.first_ts + offset
+                    # Skip timestamps something else (e.g. a racing
+                    # retrieval that fetched our own published entries)
+                    # already integrated — the content is identical.
+                    if entry_ts > replica.applied_ts:
+                        replica.apply_patch(patch, ts=entry_ts)
+                outcome = BatchCommitResult(
+                    document_key=key,
+                    first_ts=result.first_ts,
+                    last_ts=result.last_ts,
+                    edits=len(staged),
+                    attempts=attempts,
+                    retrieved_patches=retrieved_total,
+                    started_at=started_at,
+                    finished_at=self.node.sim.now,
+                    author=self.author,
+                    log_replicas=result.replicas,
+                )
+                self.batch_results.append(outcome)
+                self.node.sim.trace.annotate(
+                    self.node.sim.now,
+                    "ltr-user",
+                    f"{self.author} committed batch {key}@{result.first_ts}.."
+                    f"{result.last_ts} after {attempts} attempt(s)",
+                )
+                return outcome
+
+            if result.rejected:
+                # Atomic rejection (re-election mid-batch): nothing was
+                # committed; retry after a stabilization-sized pause so the
+                # re-routed proposal reaches the new Master.
+                yield self.node.sim.timeout(self.config.validation_retry_delay)
+                continue
+
+            # We are behind: retrieve, rebase the whole chain, try again.
+            entries = yield from self.log.fetch_range(
+                key, replica.applied_ts + 1, result.last_ts,
+                parallel=self.config.parallel_retrieval,
+            )
+            staged = integrate_remote_into_staged(
+                replica, [(entry.ts, entry.patch) for entry in entries], staged
+            )
+            staged_box[0] = staged
+            retrieved_total += len(entries)
+
+    def _restage(self, key: str, batch: CommitBatch, staged: Sequence[Patch]) -> None:
+        """Put a failed flush's (possibly rebased) patches back in the batch."""
+        batch.replace_patches(staged)
+        self.batches[key] = batch
 
     # ----------------------------------------------------------------------- sync --
 
@@ -211,6 +433,21 @@ class UserPeer:
         """
         started_at = self.node.sim.now
         replica = self.document(key)
+        if key in self._flushing:
+            # A flush of this key is in flight: it will bring the replica up
+            # to date itself, and a concurrent retrieval advancing the
+            # replica under it would make its accepted batch double-apply.
+            result = SyncResult(
+                document_key=key,
+                from_ts=replica.applied_ts,
+                to_ts=replica.applied_ts,
+                already_current=True,
+                started_at=started_at,
+                finished_at=self.node.sim.now,
+                details={"deferred_to_flush": True},
+            )
+            self.sync_results.append(result)
+            return result
         last_ts = yield from self._call_master(key, "ltr_last_ts")
         if last_ts <= replica.applied_ts:
             result = SyncResult(
@@ -229,12 +466,21 @@ class UserPeer:
             key, replica.applied_ts + 1, last_ts,
             parallel=self.config.parallel_retrieval,
         )
+        pairs = [(entry.ts, entry.patch) for entry in entries]
         pending = self.pending.get(key)
-        merge = integrate_remote_patches(
-            replica, [(entry.ts, entry.patch) for entry in entries], pending
-        )
-        if pending is not None and merge.rebased_local is not None:
-            self.pending[key] = merge.rebased_local
+        batch = self.batches.get(key)
+        if batch is not None and len(batch) > 0:
+            # Batched mode: rebase the whole staged chain instead.  A
+            # coexisting pending patch can only be empty (stage() refuses
+            # otherwise), so dropping it loses nothing.
+            self.pending.pop(key, None)
+            batch.replace_patches(
+                integrate_remote_into_staged(replica, pairs, batch.patches)
+            )
+        else:
+            merge = integrate_remote_patches(replica, pairs, pending)
+            if pending is not None and merge.rebased_local is not None:
+                self.pending[key] = merge.rebased_local
         result = SyncResult(
             document_key=key,
             from_ts=from_ts,
@@ -279,9 +525,15 @@ class UserPeer:
     def statistics(self) -> dict[str, Any]:
         """Per-peer counters used by the experiment reports."""
         commits = self.commit_results
+        batches = self.batch_results
         return {
             "author": self.author,
             "commits": len(commits),
+            "batches": len(batches),
+            "batched_edits": sum(batch.edits for batch in batches),
+            "mean_batch_latency": (
+                sum(batch.latency for batch in batches) / len(batches) if batches else 0.0
+            ),
             "conflict_commits": sum(1 for commit in commits if commit.had_conflicts),
             "mean_commit_latency": (
                 sum(commit.latency for commit in commits) / len(commits) if commits else 0.0

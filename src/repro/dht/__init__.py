@@ -1,7 +1,7 @@
 """DHT client facade: a uniform put/get/lookup interface over Chord or a local table."""
 
-from .api import DhtClient
+from .api import DhtClient, PutItem
 from .chord_client import ChordDhtClient
 from .local import LocalDht
 
-__all__ = ["ChordDhtClient", "DhtClient", "LocalDht"]
+__all__ = ["ChordDhtClient", "DhtClient", "LocalDht", "PutItem"]

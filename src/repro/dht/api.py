@@ -15,7 +15,13 @@ network round trips.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
+
+from ..errors import PLACEMENT_FAILURES
+
+#: One item of a batched store: ``(key, value, key_id)`` where ``key_id`` may
+#: be ``None`` to let the implementation hash ``key`` itself.
+PutItem = tuple[str, Any, Optional[int]]
 
 
 class DhtClient(ABC):
@@ -24,6 +30,29 @@ class DhtClient(ABC):
     @abstractmethod
     def put(self, key: str, value: Any, *, key_id: Optional[int] = None):
         """Store ``value`` under ``key`` (process; returns placement info)."""
+
+    def put_many(self, items: Sequence[PutItem]):
+        """Store several items in one batched operation (process).
+
+        Returns ``{"stored": [bool per item], "owners": int, "hops": int}``.
+        The default implementation simply loops over :meth:`put` (one routed
+        write per item); implementations backed by a real overlay override it
+        to group items by responsible peer so a batch costs one replicated
+        write per owner (the batched commit pipeline relies on this).
+        """
+        stored: list[bool] = []
+        owners: set[Any] = set()
+        hops = 0
+        for key, value, key_id in items:
+            try:
+                answer = yield from self.put(key, value, key_id=key_id)
+            except PLACEMENT_FAILURES:
+                stored.append(False)
+                continue
+            stored.append(True)
+            owners.add(answer.get("owner"))
+            hops += answer.get("hops", 0)
+        return {"stored": stored, "owners": len(owners), "hops": hops}
 
     @abstractmethod
     def get(self, key: str, *, key_id: Optional[int] = None):

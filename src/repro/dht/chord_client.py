@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from ..chord import ChordNode, hash_to_id
-from .api import DhtClient
+from ..errors import PLACEMENT_FAILURES
+from .api import DhtClient, PutItem
 
 
 class ChordDhtClient(DhtClient):
@@ -32,6 +33,87 @@ class ChordDhtClient(DhtClient):
     def put(self, key: str, value: Any, *, key_id: Optional[int] = None):
         result = yield from self.node.put(key, value, key_id=key_id)
         return result
+
+    def put_many(self, items: Sequence[PutItem]):
+        """Batched store: group items by responsible peer, one RPC per peer.
+
+        All placements are resolved concurrently (repeated lookups towards
+        the same arc are served by the route cache), the items are grouped
+        by owner, and each owner receives its whole group in a single
+        ``store_many`` RPC — which also pushes the successor replicas with
+        one notification per owner instead of one per item.  An item whose
+        placement cannot be resolved, or whose owner is unreachable, is
+        reported as not stored; the batch itself never fails wholesale.
+        """
+        items = list(items)
+        if not items:
+            return {"stored": [], "owners": 0, "hops": 0}
+        sim = self.node.sim
+        resolutions = [
+            sim.process(
+                self._resolve_placement(key, key_id),
+                name=f"resolve:{key}",
+            )
+            for key, _value, key_id in items
+        ]
+        yield sim.all_of(resolutions)
+        stored = [False] * len(items)
+        hops = 0
+        groups: dict[Any, list[int]] = {}
+        for index, resolution in enumerate(resolutions):
+            outcome = resolution.value
+            if outcome is None:
+                continue
+            owner, answer_hops = outcome
+            hops += answer_hops
+            groups.setdefault(owner, []).append(index)
+        writes = [
+            (
+                indexes,
+                sim.process(
+                    self._store_group(owner, [items[i] for i in indexes]),
+                    name=f"store_many:{owner.address.name}",
+                ),
+            )
+            for owner, indexes in groups.items()
+        ]
+        if writes:
+            yield sim.all_of([process for _indexes, process in writes])
+        for indexes, process in writes:
+            if process.value:
+                for index in indexes:
+                    stored[index] = True
+        return {"stored": stored, "owners": len(groups), "hops": hops}
+
+    def _resolve_placement(self, key: str, key_id: Optional[int]):
+        """Locate the owner of one placement; ``None`` when routing fails."""
+        identifier = key_id if key_id is not None else self.hash_key(key)
+        try:
+            answer = yield from self.node.find_successor(identifier)
+        except PLACEMENT_FAILURES:
+            return None
+        return answer["node"], answer["hops"]
+
+    def _store_group(self, owner, group: Sequence[PutItem]):
+        """Write one owner's share of a batch in a single RPC."""
+        payload = [
+            {
+                "key": key,
+                "value": value,
+                "key_id": key_id if key_id is not None else self.hash_key(key),
+            }
+            for key, value, key_id in group
+        ]
+        try:
+            yield self.node.rpc.call(
+                owner.address,
+                "store_many",
+                items=payload,
+                timeout=self.node.config.rpc_timeout,
+            )
+        except PLACEMENT_FAILURES:
+            return False
+        return True
 
     def get(self, key: str, *, key_id: Optional[int] = None):
         result = yield from self.node.get(key, key_id=key_id)

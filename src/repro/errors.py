@@ -81,6 +81,12 @@ class LookupFailed(DhtError):
     """A Chord lookup could not be resolved (e.g. the ring is broken)."""
 
 
+#: Errors meaning one routed placement/write failed (the route could not be
+#: resolved or the resolved peer did not answer).  Batched DHT operations
+#: treat these as per-item failures rather than aborting the whole batch.
+PLACEMENT_FAILURES = (LookupFailed, NodeUnreachable, RequestTimeout)
+
+
 class KeyNotFound(DhtError):
     """``get`` was called for a key that is not stored in the DHT."""
 

@@ -33,6 +33,7 @@ QUICK_PARAMETERS: dict[str, dict] = {
            "writers_per_wave": 3},
     "E10": {"profiles": ("stable", "aggressive"), "peers": 10, "duration": 15.0,
             "commit_interval": 1.5},
+    "E11": {"batch_sizes": (1, 4, 16), "peers": 10, "edits": 32},
 }
 
 #: Parameters closer to the paper's demonstration scale (slower).
@@ -51,6 +52,7 @@ FULL_PARAMETERS: dict[str, dict] = {
            "waves": 8, "writers_per_wave": 4},
     "E10": {"profiles": ("stable", "gentle", "aggressive"), "peers": 14,
             "duration": 30.0, "commit_interval": 1.0},
+    "E11": {"batch_sizes": (1, 2, 4, 8, 16, 32), "peers": 16, "edits": 96},
 }
 
 

@@ -36,6 +36,8 @@ class TimestampAuthority(NodeService):
         super().__init__()
         self._ht = ht
         self.generated = 0
+        self.allocations = 0
+        self.range_allocations = 0
         self.takeovers = 0
         self.transfers_in = 0
         self.transfers_out = 0
@@ -46,6 +48,7 @@ class TimestampAuthority(NodeService):
         if self._ht is None:
             self._ht = timestamp_hash(node.config.bits)
         node.rpc.expose("kts_gen_ts", self.gen_ts)
+        node.rpc.expose("kts_next_timestamps", self.next_timestamps)
         node.rpc.expose("kts_last_ts", self.last_ts)
         node.rpc.expose("kts_advance_ts", self.advance_ts)
         node.rpc.expose("kts_managed_keys", self.managed_keys)
@@ -93,10 +96,25 @@ class TimestampAuthority(NodeService):
         immediately replicated to the successor(s) so a crash of this node
         does not lose it (Master-key-Succ backup).
         """
+        return self.next_timestamps(key, 1)
+
+    def next_timestamps(self, key: str, count: int) -> int:
+        """Allocate ``count`` consecutive timestamps for ``key`` in one advance.
+
+        The range ``first .. first + count - 1`` is consumed by a single
+        counter update and a single replication push to the successor(s), so
+        a batched commit pays one KTS round-trip regardless of its size.
+        Returns ``first`` (``last_ts + 1`` at the moment of the call); the
+        range stays dense and gap-free because nothing else can advance the
+        counter between the read and the write (the update is atomic within
+        one simulation step).
+        """
+        if count < 1:
+            raise ValueError(f"timestamp range size must be >= 1, got {count}")
         node = self._node()
         item = node.storage.update(
             self.storage_key(key),
-            lambda current: (current or 0) + 1,
+            lambda current: (current or 0) + count,
             default=0,
             now=node.sim.now,
         )
@@ -104,16 +122,39 @@ class TimestampAuthority(NodeService):
         # counter together with the responsibility for ht(key).
         item.key_id = self.placement_id(key)
         node._push_replicas([item])
-        self.generated += 1
+        self.generated += count
+        self.allocations += 1
+        if count > 1:
+            self.range_allocations += 1
+        first = item.value - count + 1
         node.sim.trace.annotate(
-            node.sim.now, "kts", f"{node.address.name} gen_ts({key}) -> {item.value}"
+            node.sim.now,
+            "kts",
+            f"{node.address.name} next_timestamps({key}, {count}) -> "
+            f"{first}..{item.value}",
         )
-        return item.value
+        return first
 
     def last_ts(self, key: str) -> int:
         """Return the last timestamp generated for ``key`` (0 if none yet)."""
         node = self._node()
         return int(node.storage.value(self.storage_key(key), default=0))
+
+    def owns_counter(self, key: str) -> Optional[bool]:
+        """Whether this node holds the *authoritative* counter of ``key``.
+
+        ``True`` for an owned counter item, ``False`` for a replica copy
+        (e.g. the stale copy a departing Master keeps after handing the key
+        to a joining peer), ``None`` when no counter has materialised here
+        at all.  The batched commit path uses this to detect a re-election
+        that happened while a publish was in flight: advancing a replica
+        copy would fork the timestamp sequence.
+        """
+        node = self._node()
+        item = node.storage.get(self.storage_key(key))
+        if item is None:
+            return None
+        return not item.is_replica
 
     def advance_ts(self, key: str, value: int) -> int:
         """Raise the counter to ``value`` if it is currently lower.
@@ -165,6 +206,8 @@ class TimestampAuthority(NodeService):
         """Counters for experiment reports."""
         return {
             "generated": self.generated,
+            "allocations": self.allocations,
+            "range_allocations": self.range_allocations,
             "takeovers": self.takeovers,
             "transfers_in": self.transfers_in,
             "transfers_out": self.transfers_out,

@@ -59,6 +59,15 @@ class KtsClient:
         answer = yield from self._call(key, "kts_gen_ts")
         return answer["result"]
 
+    def next_timestamps(self, key: str, count: int):
+        """Allocate ``count`` consecutive timestamps in one round-trip (process).
+
+        Returns the first timestamp of the allocated range
+        ``first .. first + count - 1``.
+        """
+        answer = yield from self._call(key, "kts_next_timestamps", count=count)
+        return answer["result"]
+
     def last_ts(self, key: str):
         """Read the last timestamp generated for ``key`` (process)."""
         answer = yield from self._call(key, "kts_last_ts")

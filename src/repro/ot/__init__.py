@@ -9,7 +9,12 @@ collaborative-editing scenarios can be reproduced.
 
 from .diff import diff_lines, make_patch
 from .document import Document, all_converged
-from .merge import MergeResult, converge_check, integrate_remote_patches
+from .merge import (
+    MergeResult,
+    converge_check,
+    integrate_remote_into_staged,
+    integrate_remote_patches,
+)
 from .operations import DeleteLine, InsertLine, NoOp, TextOperation, is_noop
 from .patch import Patch
 from .transform import (
@@ -30,6 +35,7 @@ __all__ = [
     "all_converged",
     "converge_check",
     "diff_lines",
+    "integrate_remote_into_staged",
     "integrate_remote_patches",
     "is_noop",
     "make_patch",

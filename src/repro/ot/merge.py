@@ -88,6 +88,44 @@ def integrate_remote_patches(
     return MergeResult(document=document, rebased_local=rebased_local, integrated=integrated)
 
 
+def integrate_remote_into_staged(
+    document: Document,
+    remote_patches: Sequence[tuple[int, Patch]],
+    staged: Sequence[Patch],
+) -> list[Patch]:
+    """Apply remote patches and rebase a *sequence* of staged patches.
+
+    The batched commit path stages several individual patches
+    ``p1 .. pk`` where each ``p(i+1)`` is expressed against the state
+    produced by ``p(i)``.  When the Master answers *behind*, the whole
+    sequence must be transformed against the missing remote patches while
+    preserving that chaining: each remote patch is transformed forward
+    through the staged sequence as each staged patch is transformed against
+    it (the standard OT chaining), so the rebased sequence still applies
+    cleanly in order on top of the refreshed replica.
+
+    ``document`` advances exactly like in :func:`integrate_remote_patches`;
+    the returned list replaces the staged patches.
+    """
+    staged_ops = [list(patch.operations) for patch in staged]
+    for ts, remote in remote_patches:
+        expected = document.applied_ts + 1
+        if ts != expected:
+            raise DivergenceDetected(
+                f"patch stream for {document.key!r} is not continuous: "
+                f"expected ts {expected}, got {ts}"
+            )
+        remote_ops = list(remote.operations)
+        for index, ops in enumerate(staged_ops):
+            staged_ops[index], remote_ops = transform_sequences(ops, remote_ops)
+        document.apply_patch(remote, ts=ts)
+    base = document.applied_ts
+    return [
+        patch.with_operations(ops).with_base(base)
+        for patch, ops in zip(staged, staged_ops)
+    ]
+
+
 def converge_check(replicas: Sequence[Document]) -> None:
     """Raise :class:`~repro.errors.DivergenceDetected` unless all replicas match.
 

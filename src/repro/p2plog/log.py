@@ -10,7 +10,7 @@ Log-Peers (or their successor replicas) is alive.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from ..chord import HashFunctionFamily
 from ..dht import DhtClient
@@ -40,6 +40,7 @@ class P2PLogClient:
         self.dht = dht
         self.hash_family = hash_family
         self.published_entries = 0
+        self.batched_publishes = 0
         self.retrievals = 0
         self.fallback_reads = 0
 
@@ -72,6 +73,72 @@ class P2PLogClient:
             raise PatchUnavailable(entry.document_key, entry.ts)
         self.published_entries += 1
         return stored
+
+    def append_many(self, entries: Sequence[LogEntry]):
+        """Store a batch of entries at all their Log-Peers in one sweep (process).
+
+        Every entry still gets its full ``|Hr|`` placements, but the
+        placements of the whole batch are pushed through
+        :meth:`~repro.dht.DhtClient.put_many`, which groups them by
+        responsible peer — so a batch lands in the log with one replicated
+        write per peer instead of one per placement.  Returns the list of
+        per-entry placement counts (aligned with ``entries``); raises
+        :class:`~repro.errors.PatchUnavailable` if any entry could not be
+        stored at a single Log-Peer.
+        """
+        entries = list(entries)
+        if not entries:
+            return []
+        items = []
+        entry_of: list[int] = []
+        for index, entry in enumerate(entries):
+            log_key = entry.log_key
+            for function in self.hash_family:
+                items.append((function.placement_key(log_key), entry, function(log_key)))
+                entry_of.append(index)
+        answer = yield from self.dht.put_many(items)
+        per_entry = [0] * len(entries)
+        for flag, index in zip(answer["stored"], entry_of):
+            if flag:
+                per_entry[index] += 1
+        for index, placements in enumerate(per_entry):
+            if placements == 0:
+                raise PatchUnavailable(entries[index].document_key, entries[index].ts)
+        self.published_entries += len(entries)
+        self.batched_publishes += 1
+        return per_entry
+
+    def retract_many(self, entries: Sequence[LogEntry]):
+        """Best-effort removal of every placement of ``entries`` (process).
+
+        Used by the Master-key peer to clean up entries whose timestamps
+        were never allocated — a batch publish that was rejected by the
+        re-election guard, or that failed partway.  Each removal is a
+        compare-and-delete (``delete_value``), atomic at the Log-Peer: a
+        placement that was already re-used by the *new* Master for a
+        legitimately validated patch under the same ``key + ts`` is left
+        untouched.  An unreachable Log-Peer is skipped; any orphan that
+        survives is overwritten when the timestamp is eventually allocated
+        (placement keys are a pure function of ``key + ts``).
+        """
+        removed = 0
+        for entry in entries:
+            log_key = entry.log_key
+            for function in self.hash_family:
+                storage_key = function.placement_key(log_key)
+                try:
+                    answer = yield from self.dht.call_owner(
+                        storage_key,
+                        "delete_value",
+                        key_id=function(log_key),
+                        key=storage_key,
+                        expected=entry,
+                    )
+                except _RETRIEVAL_ERRORS:
+                    continue
+                if answer.get("result"):
+                    removed += 1
+        return removed
 
     # -- retrieval ---------------------------------------------------------------
 
@@ -172,6 +239,7 @@ class P2PLogClient:
         """Publication / retrieval counters for experiment reports."""
         return {
             "published_entries": self.published_entries,
+            "batched_publishes": self.batched_publishes,
             "retrievals": self.retrievals,
             "fallback_reads": self.fallback_reads,
             "replication_factor": self.replication_factor,

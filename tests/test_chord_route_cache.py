@@ -10,6 +10,7 @@ uncached protocol.
 import pytest
 
 from repro.chord import ChordConfig, ChordRing, NodeRef, RouteCache
+from repro.dht import ChordDhtClient
 from repro.net import Address, ConstantLatency
 
 CACHED_CONFIG = ChordConfig(
@@ -252,6 +253,46 @@ def test_forwarded_cache_hits_do_not_restart_the_ttl():
     assert len(node.route_cache) == entries_before  # cached answers are skipped
     node._remember_route({"node": first["node"], "hops": 1, "interval": (0, 1)})
     assert len(node.route_cache) == entries_before + 1  # authoritative ones stored
+
+
+def test_batched_put_many_lookups_are_served_from_the_route_cache():
+    """The batched commit pipeline resolves many placements per flush; once
+    a batch has warmed the gateway's cache, the next batch towards the same
+    arcs must resolve with cache hits and strictly fewer total hops."""
+    ring = build_ring(12)
+    via = ring.ring_order()[0]
+    node = ring.node(via)
+    client = ChordDhtClient(node)
+
+    items = [(f"hot-batch-{index}", f"rev-1-{index}", None) for index in range(12)]
+    cold = ring.sim.run(until=ring.sim.process(client.put_many(items)))
+    assert cold["stored"] == [True] * len(items)
+    hits_after_cold = node.route_cache.stats()["hits"]
+
+    rewrite = [(key, f"rev-2-{index}", None) for index, (key, _v, _id) in enumerate(items)]
+    warm = ring.sim.run(until=ring.sim.process(client.put_many(rewrite)))
+    assert warm["stored"] == [True] * len(items)
+    stats = node.route_cache.stats()
+    assert stats["hits"] > hits_after_cold  # warm batch resolved from cache
+    assert warm["hops"] < cold["hops"]
+    assert 0.0 < stats["hit_fraction"] <= 1.0
+    # The cached answers are correct: every item is retrievable.
+    for key, value, _key_id in rewrite:
+        answer = ring.sim.run(until=ring.sim.process(client.get(key)))
+        assert answer["value"] == value
+
+
+def test_batched_lookup_hit_rate_reported_by_ring_stats():
+    """Cache hit-rate counters are exposed ring-wide for batched lookups."""
+    ring = build_ring(10)
+    via = far_gateway(ring, "hot-batch-0")
+    client = ChordDhtClient(ring.node(via))
+    items = [("hot-batch-0", "a", None)] * 6  # same placement, repeated
+    ring.sim.run(until=ring.sim.process(client.put_many(items)))
+    ring.sim.run(until=ring.sim.process(client.put_many(items)))
+    stats = ring.route_cache_stats()
+    assert stats["hits"] >= 1
+    assert stats["hit_fraction"] > 0.0
 
 
 def test_ring_route_cache_stats_aggregate():

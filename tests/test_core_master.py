@@ -3,13 +3,16 @@
 The protocol-level behaviour is covered by ``test_core_protocol.py``; these
 tests target the MasterService internals the paper describes explicitly:
 per-document serialization of validations, the behind/ok decision, the
-publish-before-ack ordering and the bookkeeping used by the experiments.
+publish-before-ack ordering and the bookkeeping used by the experiments —
+plus the batched validation path and its atomicity under re-election.
 """
 
 import pytest
 
+from repro.chord.hashing import hash_to_id
+from repro.chord.idspace import in_interval_open_closed
 from repro.core import LtrConfig, LtrSystem, MasterService
-from repro.core.protocol import ValidationResult
+from repro.core.protocol import BatchValidationResult, ValidationResult
 from repro.net import ConstantLatency
 from repro.ot import InsertLine, Patch
 
@@ -112,6 +115,167 @@ def test_ack_before_publish_variant_still_converges():
     system.edit_and_commit("peer-1", key, "v2")
     report = system.check_consistency(key)
     assert report.converged and report.last_ts == 2
+
+
+def run_batch_validation(system, master, key, ts, patches, author):
+    handler = master.validate_and_publish_batch(
+        key=key, ts=ts, patches=patches, author=author
+    )
+    payload = system.sim.run(until=system.sim.process(handler))
+    return BatchValidationResult.from_payload(payload)
+
+
+def test_batch_validation_assigns_a_dense_range_in_one_round():
+    system = build_system()
+    key = "xwiki:batch-direct"
+    master = system.master_service(key)
+    patches = [make_patch("u1", f"line {index}") for index in range(3)]
+    result = run_batch_validation(system, master, key, 1, patches, "u1")
+    assert result.accepted
+    assert (result.first_ts, result.last_ts) == (1, 3)
+    assert result.replicas == system.ltr_config.log_replication_factor
+    entries = system.fetch_log(key, 1, 3)
+    assert [entry.ts for entry in entries] == [1, 2, 3]
+    authority = master._authority()
+    assert authority.last_ts(key) == 3
+    assert authority.allocations == 1  # the whole batch consumed one advance
+    stale = run_batch_validation(system, master, key, 1,
+                                 [make_patch("u2", "late")], "u2")
+    assert not stale.accepted and stale.last_ts == 3
+    stats = master.statistics()
+    assert stats["batches_ok"] == 1 and stats["batches_behind"] == 1
+    assert stats["batch_edits_published"] == 3
+
+
+def test_batched_ack_before_publish_variant_still_converges():
+    system = build_system(publish_before_ack=False, batch_enabled=True,
+                          batch_max_edits=4)
+    key = "xwiki:batch-variant"
+    for index in range(6):
+        system.stage("peer-0", key, f"v{index}")
+    system.flush("peer-0", key)
+    report = system.check_consistency(key)
+    assert report.converged and report.last_ts == 6
+
+
+def find_takeover_joiner(system, key: str) -> str:
+    """A joiner name whose ring id takes over responsibility for ``key``."""
+    target = system.ht(key)
+    owner = system.ring.responsible_node_for_id(target)
+    pred = owner.predecessor
+    bits = system.chord_config.bits
+    for index in range(200_000):
+        name = f"takeover-{index}"
+        joiner_id = hash_to_id(name, bits)
+        if (
+            joiner_id != owner.node_id
+            and in_interval_open_closed(joiner_id, pred.node_id, owner.node_id)
+            and in_interval_open_closed(target, pred.node_id, joiner_id)
+        ):
+            return name
+    raise AssertionError(f"no takeover joiner found for {key!r}")
+
+
+def test_reelection_during_in_flight_batch_rejects_atomically():
+    """Regression: a join that takes over the Master-key role while a batch
+    is being published must not let the old Master advance the (now
+    handed-off) counter — the whole batch is rejected, no timestamp is
+    consumed, and the sequence continues densely at the new Master."""
+    system = LtrSystem(
+        ltr_config=LtrConfig(batch_enabled=True),
+        seed=42,
+        latency=ConstantLatency(0.02),
+    )
+    system.bootstrap(8)
+    key = "xwiki:reelect"
+    system.edit_and_commit("peer-0", key, "base revision")
+    system.run_for(2.0)
+    joiner = find_takeover_joiner(system, key)
+
+    old_master = system.master_service(key)
+    patches = [make_patch("u9", f"batch line {index}", base_ts=1) for index in range(3)]
+    process = system.sim.process(
+        old_master.validate_and_publish_batch(key=key, ts=2, patches=patches,
+                                              author="u9", base_ts=1)
+    )
+    system.sim.run(until=system.sim.now + 0.005)  # the publish is now in flight
+    system.add_peer(joiner)  # hand-off happens while the batch publishes
+    result = BatchValidationResult.from_payload(system.sim.run(until=process))
+
+    assert result.rejected, "old master committed a batch after losing the key"
+    assert old_master.batches_rejected == 1
+    assert system.master_of(key) == joiner
+    assert system.last_ts(key) == 1  # nothing was consumed
+    # The rejected batch's published entries were retracted: no orphan
+    # patches are readable at the never-allocated timestamps.
+    from repro.errors import KeyNotFound, PatchUnavailable
+    log = system.log_client()
+    for orphan_ts in (2, 3, 4):
+        with pytest.raises((PatchUnavailable, KeyNotFound)):
+            system.sim.run(until=system.sim.process(log.fetch(key, orphan_ts)))
+    # The sequence continues densely at the new Master.
+    follow_up = system.edit_and_commit("peer-0", key, "post-reelection revision")
+    assert follow_up.ts == 2
+    report = system.check_consistency(key)
+    assert report.converged and report.log_continuous
+
+
+def test_reelection_during_in_flight_single_validation_rejects_atomically():
+    """The re-election guard protects the unbatched path identically."""
+    system = LtrSystem(ltr_config=LtrConfig(), seed=42, latency=ConstantLatency(0.02))
+    system.bootstrap(8)
+    key = "xwiki:reelect"
+    system.edit_and_commit("peer-0", key, "base revision")
+    system.run_for(2.0)
+    joiner = find_takeover_joiner(system, key)
+
+    old_master = system.master_service(key)
+    process = system.sim.process(
+        old_master.validate_and_publish(key=key, ts=2,
+                                        patch=make_patch("u9", "late", base_ts=1),
+                                        author="u9", base_ts=1)
+    )
+    system.sim.run(until=system.sim.now + 0.005)
+    system.add_peer(joiner)
+    result = ValidationResult.from_payload(system.sim.run(until=process))
+
+    assert result.rejected
+    assert old_master.validations_rejected == 1
+    assert system.last_ts(key) == 1
+    follow_up = system.edit_and_commit("peer-0", key, "post-reelection revision")
+    assert follow_up.ts == 2
+    report = system.check_consistency(key)
+    assert report.converged and report.log_continuous
+
+
+def test_flush_retries_through_reelection_and_commits_at_new_master():
+    """End-to-end: a user flush racing a Master takeover retries after the
+    atomic rejection and lands the whole batch at the new Master."""
+    system = LtrSystem(
+        ltr_config=LtrConfig(batch_enabled=True, batch_max_edits=8,
+                             validation_retry_delay=0.3),
+        seed=42,
+        latency=ConstantLatency(0.02),
+    )
+    system.bootstrap(8)
+    key = "xwiki:reelect-flush"
+    system.edit_and_commit("peer-0", key, "base revision")
+    system.run_for(2.0)
+    joiner = find_takeover_joiner(system, key)
+
+    writer = system.user("peer-0")
+    for index in range(3):
+        writer.stage(key, f"staged {index}\nbase revision")
+    flush = system.sim.process(writer.flush(key))
+    system.sim.run(until=system.sim.now + 0.005)
+    system.add_peer(joiner)
+    outcome = system.sim.run(until=flush)
+
+    assert outcome is not None and outcome.edits == 3
+    assert (outcome.first_ts, outcome.last_ts) == (2, 4)
+    assert system.last_ts(key) == 4
+    report = system.check_consistency(key)
+    assert report.converged and report.log_continuous
 
 
 def test_handle_last_ts_matches_authority():

@@ -98,6 +98,45 @@ def test_chord_client_call_owner_reaches_responsible_peer():
     assert answer["owner"] == ring.responsible_node("some-key").ref
 
 
+def test_local_dht_put_many_default_loops_over_put():
+    sim = Simulator()
+    dht = LocalDht(sim)
+    answer = sim.run(until=sim.process(dht.put_many([
+        ("a", 1, None), ("b", 2, None), ("c", 3, None),
+    ])))
+    assert answer["stored"] == [True, True, True]
+    assert dht.snapshot() == {"a": 1, "b": 2, "c": 3}
+    empty = sim.run(until=sim.process(dht.put_many([])))
+    assert empty == {"stored": [], "owners": 0, "hops": 0}
+
+
+def test_chord_client_put_many_groups_items_by_owner():
+    ring = build_ring()
+    client = ChordDhtClient(ring.gateway())
+    items = [(f"bulk-{index}", f"value-{index}", None) for index in range(9)]
+    answer = ring.sim.run(until=ring.sim.process(client.put_many(items)))
+    assert answer["stored"] == [True] * len(items)
+    owners = {ring.responsible_node(key).address.name for key, _v, _id in items}
+    assert answer["owners"] == len(owners)
+    for key, value, _key_id in items:
+        fetched = ring.sim.run(until=ring.sim.process(client.get(key)))
+        assert fetched["value"] == value
+
+
+def test_chord_client_put_many_replicates_each_group_once():
+    ring = build_ring()
+    client = ChordDhtClient(ring.gateway())
+    items = [(f"repl-{index}", index, None) for index in range(6)]
+    ring.sim.run(until=ring.sim.process(client.put_many(items)))
+    ring.run_for(1.0)  # let the grouped receive_items notifications land
+    replicas = sum(
+        1 for node in ring.live_nodes()
+        for item in node.storage.replica_items()
+        if item.key.startswith("repl-")
+    )
+    assert replicas >= len(items)  # replication degree preserved by store_many
+
+
 def test_chord_client_remove_round_trip():
     ring = build_ring()
     client = ChordDhtClient(ring.gateway())

@@ -19,6 +19,7 @@ from repro.experiments import (
 )
 from repro.experiments.scenarios import (
     experiment_baseline_comparison,
+    experiment_batched_commit,
     experiment_chord_lookup,
     experiment_churn_soak,
     experiment_concurrent_publishing,
@@ -33,7 +34,7 @@ from repro.experiments.scenarios import (
 
 def test_experiment_registry_covers_all_ids():
     ids = [experiment_id for experiment_id, _fn in iter_all_experiments()]
-    assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"]
+    assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"]
     assert ids == list(SPEC_FACTORIES)
     assert set(ids).issubset(EXPERIMENT_DESCRIPTIONS)
 
@@ -158,6 +159,18 @@ def test_e10_churn_soak_shape():
     assert all(row["log_continuous"] for row in rows.values())
     assert all(row["converged"] for row in rows.values())
     assert rows["gentle"]["commits_attempted"] == 5
+
+
+def test_e11_batched_commit_shape():
+    table = experiment_batched_commit(batch_sizes=(1, 8), peers=8, edits=16, seed=111)
+    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    single, batched = rows
+    assert all(row["converged"] for row in rows)
+    assert all(row["last_ts"] == row["edits"] == 16 for row in rows)
+    # batching raises throughput and cuts coordination per edit
+    assert batched["commits_per_s"] > single["commits_per_s"]
+    assert batched["kts_allocations"] < single["kts_allocations"]
+    assert batched["flushes"] == 2 and single["flushes"] == 16
 
 
 def test_run_all_subset_and_rendering():

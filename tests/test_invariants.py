@@ -1,0 +1,262 @@
+"""Reusable invariant checkers for the P2P-LTR commit pipelines.
+
+The paper's guarantees — dense, gap-free timestamps per document; a
+prefix-complete P2P-Log readable from every peer; OT convergence of all
+replicas — must hold on the unbatched path *and* on the batched commit
+pipeline.  This module provides the checkers as plain functions (also
+imported by ``test_commit_fuzz.py``) and asserts them over randomized,
+seeded multi-writer runs of both paths.
+"""
+
+import pytest
+
+from repro.core import CommitBatch, LtrConfig, LtrSystem
+from repro.core.consistency import verify_log_continuity
+from repro.errors import ConfigurationError, ReproError
+from repro.net import ConstantLatency
+from repro.sim.rng import RandomStreams
+
+# ------------------------------------------------------------- checkers --
+
+
+def assert_timestamps_dense(system: LtrSystem, key: str):
+    """The timestamp sequence of ``key`` is 1..last_ts with no gap or dupe."""
+    last_ts = system.last_ts(key)
+    client = system.log_client()
+    entries = system.sim.run(
+        until=system.sim.process(verify_log_continuity(client, key, last_ts))
+    )
+    observed = [entry.ts for entry in entries]
+    assert observed == list(range(1, last_ts + 1)), (
+        f"timestamps of {key!r} are not dense: {observed}"
+    )
+    return entries
+
+
+def assert_log_prefix_complete(system: LtrSystem, key: str) -> None:
+    """Every live peer can retrieve the full log prefix 1..last_ts of ``key``."""
+    last_ts = system.last_ts(key)
+    for name in system.peer_names():
+        client = system.log_client(via=name)
+        entries = system.sim.run(
+            until=system.sim.process(client.fetch_range(key, 1, last_ts))
+        )
+        assert len(entries) == last_ts, (
+            f"peer {name} retrieved {len(entries)}/{last_ts} entries of {key!r}"
+        )
+
+
+def assert_replicas_converge(system: LtrSystem, key: str):
+    """After syncing, all replicas of ``key`` equal the canonical log replay."""
+    report = system.check_consistency(key)
+    assert report.log_continuous, f"log of {key!r} is not continuous"
+    assert report.converged, (
+        f"{report.distinct_contents} distinct replica contents for {key!r} "
+        f"at ts {report.last_ts}"
+    )
+    return report
+
+
+def assert_system_invariants(system: LtrSystem, keys) -> None:
+    """All three paper invariants, over every given document key."""
+    for key in keys:
+        assert_timestamps_dense(system, key)
+        assert_log_prefix_complete(system, key)
+        assert_replicas_converge(system, key)
+
+
+# ------------------------------------------------------ randomized runs --
+
+
+def build_system(peers: int = 8, seed: int = 0, **ltr_overrides) -> LtrSystem:
+    system = LtrSystem(
+        ltr_config=LtrConfig(**ltr_overrides) if ltr_overrides else LtrConfig(),
+        seed=seed,
+        latency=ConstantLatency(0.004),
+    )
+    system.bootstrap(peers)
+    return system
+
+
+def run_random_workload(system: LtrSystem, *, seed: int, keys, writers,
+                        steps: int, batched: bool) -> int:
+    """Drive a deterministic pseudo-random multi-writer editing run.
+
+    Returns the number of edits that were issued.  Transient commit
+    failures (churn-free here, so none are expected) would propagate.
+    """
+    rng = RandomStreams(seed).stream("workload")
+    issued = 0
+    for step in range(steps):
+        writer = rng.choice(writers)
+        key = rng.choice(keys)
+        lines = [f"{key} line {index} rev {step} by {writer}"
+                 for index in range(rng.randint(1, 4))]
+        text = "\n".join(lines)
+        if batched:
+            system.stage(writer, key, text)
+        else:
+            system.edit_and_commit(writer, key, text)
+        issued += 1
+    if batched:
+        for writer in writers:
+            for key in keys:
+                system.flush(writer, key)
+    return issued
+
+
+@pytest.mark.parametrize("batched", [False, True], ids=["unbatched", "batched"])
+@pytest.mark.parametrize("seed", [3, 41, 2024])
+def test_randomized_runs_preserve_all_invariants(seed, batched):
+    overrides = {"batch_enabled": True, "batch_max_edits": 3} if batched else {}
+    system = build_system(peers=8, seed=seed, **overrides)
+    keys = ["xwiki:inv-a", "xwiki:inv-b"]
+    writers = system.peer_names()[:3]
+    issued = run_random_workload(
+        system, seed=seed, keys=keys, writers=writers, steps=14, batched=batched
+    )
+    assert issued == 14
+    assert sum(system.last_ts(key) for key in keys) == issued
+    assert_system_invariants(system, keys)
+
+
+def test_batched_and_unbatched_paths_agree_on_canonical_state():
+    """The same single-writer edit sequence yields the same document text."""
+    texts = [f"rev {index}\nshared tail" for index in range(6)]
+    key = "xwiki:agree"
+
+    plain = build_system(peers=6, seed=9)
+    for text in texts:
+        plain.edit_and_commit("peer-0", key, text)
+    plain_report = assert_replicas_converge(plain, key)
+
+    batched = build_system(peers=6, seed=9, batch_enabled=True, batch_max_edits=4)
+    for text in texts:
+        batched.stage("peer-0", key, text)
+    batched.flush("peer-0", key)
+    batched_report = assert_replicas_converge(batched, key)
+
+    assert plain_report.last_ts == batched_report.last_ts == len(texts)
+    assert plain_report.canonical_lines == batched_report.canonical_lines
+
+
+def test_concurrent_batched_flushes_converge():
+    """Contending batches are serialized, rebased and still converge."""
+    system = build_system(peers=10, seed=13, batch_enabled=True, batch_max_edits=8)
+    key = "xwiki:contend"
+    first, second = system.peer_names()[:2]
+    for index in range(3):
+        system.user(first).stage(key, f"alpha-{index}\ncommon")
+    for index in range(2):
+        system.user(second).stage(key, f"common\nbeta-{index}")
+    results = system.run_concurrent_flushes([(first, key), (second, key)])
+    assert len(results) == 2
+    assert {result.first_ts for result in results} == {1, 4}
+    assert any(result.retrieved_patches > 0 for result in results)
+    assert_system_invariants(system, [key])
+
+
+# ----------------------------------------------------- unit-level gates --
+
+
+def test_stage_requires_the_batch_gate():
+    system = build_system(peers=4, seed=5)  # batch_enabled defaults to False
+    with pytest.raises(ConfigurationError):
+        system.user("peer-0").stage("xwiki:gated", "text")
+
+
+def test_edit_refused_while_a_flush_is_in_flight():
+    """edit() mid-flush would base its patch on the pre-flush replica."""
+    system = build_system(peers=8, seed=61, batch_enabled=True, batch_max_edits=8)
+    key = "xwiki:midflight"
+    user = system.user("peer-0")
+    for index in range(3):
+        user.stage(key, f"staged {index}\ncommon")
+    flush = system.sim.process(user.flush(key))
+    system.sim.run(until=system.sim.now + 0.001)  # flush now awaits the Master
+    with pytest.raises(ConfigurationError):
+        user.edit(key, "unbatched edit during flush")
+    with pytest.raises(ConfigurationError):
+        user.stage(key, "staged during flush")
+    outcome = system.sim.run(until=flush)
+    assert outcome is not None and outcome.edits == 3
+    assert_system_invariants(system, [key])
+
+
+def test_noop_stage_does_not_start_the_deadline_clock():
+    system = build_system(peers=6, seed=67, batch_enabled=True,
+                          batch_max_edits=16, batch_deadline=1.0)
+    key = "xwiki:noop-deadline"
+    user = system.user("peer-0")
+    user.stage(key, "")  # a no-op against the empty document: opens nothing
+    assert user.batch(key) is None
+    system.run_for(5.0)  # well past the deadline
+    user.stage(key, "first real edit")
+    batch = user.batch(key)
+    assert batch is not None and len(batch) == 1
+    assert not batch.due(system.sim.now)  # the clock started at the real edit
+    system.run_for(1.5)
+    assert batch.due(system.sim.now)
+
+
+def test_commit_batch_size_and_deadline_bounds():
+    batch = CommitBatch(key="doc", opened_at=10.0, max_edits=2, deadline=1.0)
+    assert not batch.due(now=10.5)  # empty: never due
+    from repro.ot import InsertLine, Patch
+    batch.add(Patch((InsertLine(0, "a"),), base_ts=0))
+    assert not batch.full and not batch.due(now=10.5)
+    assert batch.due(now=11.0)  # past the deadline
+    batch.add(Patch((InsertLine(0, "b"),), base_ts=0))
+    assert batch.full and batch.due(now=10.0)
+    with pytest.raises(ValueError):
+        batch.add(Patch((InsertLine(0, "c"),), base_ts=0))
+    with pytest.raises(ValueError):
+        CommitBatch(key="doc", opened_at=0.0, max_edits=0)
+
+
+def test_flush_due_respects_the_deadline():
+    system = build_system(peers=6, seed=21, batch_enabled=True,
+                          batch_max_edits=16, batch_deadline=2.0)
+    key = "xwiki:deadline"
+    system.user("peer-0").stage(key, "first revision")
+    assert system.flush_due() == []  # too young
+    system.run_for(2.5)
+    results = system.flush_due()
+    assert [result.edits for result in results] == [1]
+    assert system.last_ts(key) == 1
+    assert_system_invariants(system, [key])
+
+
+def test_next_timestamps_allocates_dense_ranges():
+    system = build_system(peers=6, seed=33)
+    key = "xwiki:ranges"
+    authority = system.ring.responsible_node_for_id(system.ht(key)).service("kts")
+    assert authority.next_timestamps(key, 5) == 1
+    assert authority.next_timestamps(key, 1) == 6
+    assert authority.next_timestamps(key, 3) == 7
+    assert authority.last_ts(key) == 9
+    assert authority.allocations == 3
+    assert authority.range_allocations == 2  # the two count>1 calls
+    with pytest.raises(ValueError):
+        authority.next_timestamps(key, 0)
+
+
+def test_validation_failure_restages_the_batch():
+    """A flush that cannot complete puts the (rebased) edits back."""
+    system = build_system(peers=6, seed=55, batch_enabled=True,
+                          batch_max_edits=8, max_validation_attempts=1)
+    key = "xwiki:restage"
+    # Make the proposer stale: another peer commits out from under it.
+    user = system.user("peer-0")
+    user.stage(key, "staged once")
+    other = system.peer_names()[1]
+    system.edit_and_commit(other, key, "committed first")
+    with pytest.raises(ReproError):
+        system.flush("peer-0", key)
+    restaged = user.batch(key)
+    assert restaged is not None and len(restaged) == 1
+    # After syncing, the retried flush lands cleanly.
+    system.sync("peer-0", key)
+    result = system.flush("peer-0", key)
+    assert result is not None and result.first_ts == 2
+    assert_system_invariants(system, [key])

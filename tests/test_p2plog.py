@@ -175,3 +175,32 @@ def test_statistics_track_publications_and_fallbacks():
     assert stats["published_entries"] == 1
     assert stats["retrievals"] == 1
     assert stats["replication_factor"] == 2
+
+
+def test_append_many_places_whole_batch_with_grouped_writes():
+    ring = build_ring()
+    client = P2PLogClient(ChordDhtClient(ring.gateway()), HashFunctionFamily.create(3, bits=BITS))
+    entries = [make_entry(ts, key="wiki:batch") for ts in range(1, 6)]
+    per_entry = run(ring, client.append_many(entries))
+    assert per_entry == [3] * 5  # every entry got all |Hr| placements
+    for ts in range(1, 6):
+        assert run(ring, client.fetch("wiki:batch", ts)) == entries[ts - 1]
+    stats = client.statistics()
+    assert stats["published_entries"] == 5
+    assert stats["batched_publishes"] == 1
+    assert run(ring, client.append_many([])) == []
+
+
+def test_retract_many_removes_only_matching_entries():
+    ring = build_ring()
+    client = P2PLogClient(ChordDhtClient(ring.gateway()), HashFunctionFamily.create(2, bits=BITS))
+    orphan = make_entry(1, key="wiki:retract", author="old-master")
+    run(ring, client.append_many([orphan]))
+    assert run(ring, client.retract_many([orphan])) == 2  # both placements gone
+    with pytest.raises(PatchUnavailable):
+        run(ring, client.fetch("wiki:retract", 1))
+    # A placement re-used by a *different* (validated) entry is untouched.
+    validated = make_entry(1, key="wiki:retract", author="new-master")
+    run(ring, client.append_many([validated]))
+    assert run(ring, client.retract_many([orphan])) == 0
+    assert run(ring, client.fetch("wiki:retract", 1)) == validated
