@@ -461,6 +461,21 @@ class ChordNode:
             raise KeyNotFound(key)
         return item.value
 
+    def rpc_fetch_many(self, keys: list[str]) -> dict[str, Any]:
+        """Return the locally stored values for every held key of ``keys``.
+
+        The server side of grouped range reads (``DhtClient.get_many`` /
+        the P2P-Log's ``fetch_span``): a whole span of entries headed for
+        this Log-Peer is answered in one RPC.  Keys not held here are
+        simply absent from the answer — the caller falls back per key.
+        """
+        found: dict[str, Any] = {}
+        for key in keys:
+            item = self.storage.get(key)
+            if item is not None:
+                found[key] = item.value
+        return found
+
     def rpc_delete(self, key: str) -> bool:
         """Delete ``key`` locally; returns whether it existed."""
         return self.storage.remove(key)

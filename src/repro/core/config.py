@@ -51,6 +51,32 @@ class LtrConfig:
         this is reported as due by ``CommitBatch.due`` / flushed by
         ``LtrSystem.flush_due`` even when it is not full, so a trickle of
         edits is never parked indefinitely.
+    checkpoint_enabled:
+        When ``True``, the Master-key peer materializes a document snapshot
+        every ``checkpoint_interval`` published timestamps and stores it
+        replicated under the salted checkpoint hash family, and
+        ``UserPeer.sync`` bootstraps cold catch-ups from the newest
+        checkpoint instead of replaying the whole patch log (``DESIGN.md``
+        §"Checkpointed retrieval").  ``False`` (the default) keeps the
+        paper's full-replay retrieval procedure byte-identical.
+    checkpoint_interval:
+        How many published timestamps between two checkpoints of the same
+        document.  Also the staleness threshold below which ``sync`` skips
+        the checkpoint probe (replaying that short a suffix is cheaper).
+    checkpoint_retention:
+        How many checkpoints per document are retained; older ones are
+        garbage-collected from the DHT when a new checkpoint slides them
+        out of the window (the log's compaction story).
+    grouped_fetch:
+        When ``True``, range retrievals (sync catch-up and the behind path
+        of commit/flush) go through the grouped ``fetch_span`` path: one
+        ``fetch_many`` request per responsible Log-Peer instead of one
+        routed fetch per timestamp.  ``False`` (the default) keeps the
+        paper's per-timestamp retrieval loop.
+    max_parallel_fetches:
+        Upper bound on in-flight fetches of a ``parallel_retrieval`` range
+        (the range is worked through in windows of this size), so a very
+        long catch-up cannot flood the network.
     """
 
     log_replication_factor: int = 3
@@ -62,6 +88,11 @@ class LtrConfig:
     batch_enabled: bool = False
     batch_max_edits: int = 16
     batch_deadline: float = 0.25
+    checkpoint_enabled: bool = False
+    checkpoint_interval: int = 32
+    checkpoint_retention: int = 2
+    grouped_fetch: bool = False
+    max_parallel_fetches: int = 16
 
     def __post_init__(self) -> None:
         if self.log_replication_factor < 1:
@@ -87,4 +118,16 @@ class LtrConfig:
         if self.batch_deadline < 0:
             raise ConfigurationError(
                 f"batch_deadline must be >= 0, got {self.batch_deadline}"
+            )
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError(
+                f"checkpoint_interval must be >= 1, got {self.checkpoint_interval}"
+            )
+        if self.checkpoint_retention < 1:
+            raise ConfigurationError(
+                f"checkpoint_retention must be >= 1, got {self.checkpoint_retention}"
+            )
+        if self.max_parallel_fetches < 1:
+            raise ConfigurationError(
+                f"max_parallel_fetches must be >= 1, got {self.max_parallel_fetches}"
             )

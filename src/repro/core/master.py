@@ -24,12 +24,17 @@ from typing import Any, Optional
 
 from ..chord import HashFunctionFamily, NodeService
 from ..dht import ChordDhtClient
-from ..errors import PatchUnavailable
+from ..errors import CheckpointUnavailable, PatchUnavailable
 from ..kts import TimestampAuthority
-from ..p2plog import LogEntry, P2PLogClient
+from ..ot import Document
+from ..p2plog import Checkpoint, LogEntry, P2PLogClient
 from ..sim import FifoLock
 from .config import LtrConfig
 from .protocol import BatchValidationResult, ValidationResult
+
+#: ``(checkpoint ts, snapshot lines or None)`` jobs scheduled inside the
+#: per-document critical section and executed after the lock is released.
+CheckpointJob = tuple[int, Optional[list[str]]]
 
 
 class MasterService(NodeService):
@@ -53,6 +58,17 @@ class MasterService(NodeService):
         self.batches_behind = 0
         self.batches_rejected = 0
         self.batch_edits_published = 0
+        # Checkpointing state: the materialized document view this Master
+        # maintains by applying each patch it validates (rebuilt from
+        # checkpoint + log after a takeover), and the per-key timestamp of
+        # the last checkpoint written here (0 / unknown after a takeover,
+        # which merely makes the next checkpoint come early).
+        self._views: dict[str, Document] = {}
+        self._last_checkpoint_ts: dict[str, int] = {}
+        self._checkpoint_locks: dict[str, FifoLock] = {}
+        self.checkpoints_written = 0
+        self.checkpoint_rebuilds = 0
+        self.checkpoint_placements_removed = 0
 
     # -- NodeService wiring ------------------------------------------------------
 
@@ -61,7 +77,11 @@ class MasterService(NodeService):
             self._hash_family = HashFunctionFamily.create(
                 self.config.log_replication_factor, bits=node.config.bits
             )
-        self.log = P2PLogClient(ChordDhtClient(node), self._hash_family)
+        self.log = P2PLogClient(
+            ChordDhtClient(node),
+            self._hash_family,
+            max_parallel=self.config.max_parallel_fetches,
+        )
         node.rpc.expose("ltr_validate_and_publish", self.validate_and_publish)
         node.rpc.expose("ltr_validate_and_publish_batch", self.validate_and_publish_batch)
         node.rpc.expose("ltr_last_ts", self.handle_last_ts)
@@ -106,10 +126,11 @@ class MasterService(NodeService):
         """
         lock = self._lock_for(key)
         retract: list[LogEntry] = []
+        checkpoints: list[CheckpointJob] = []
         yield from lock.acquire()
         try:
             payload = yield from self._validate_one_locked(
-                key, ts, patch, author, base_ts, retract
+                key, ts, patch, author, base_ts, retract, checkpoints
             )
         finally:
             lock.release()
@@ -118,10 +139,12 @@ class MasterService(NodeService):
             # critical section — the removal round-trips need no
             # serialization and must not stall queued proposers.
             yield from self.log.retract_many(retract)
+        yield from self._run_checkpoint_jobs(key, checkpoints)
         return payload
 
     def _validate_one_locked(self, key: str, ts: int, patch: Any, author: str,
-                             base_ts: Optional[int], retract: list[LogEntry]):
+                             base_ts: Optional[int], retract: list[LogEntry],
+                             checkpoints: list[CheckpointJob]):
         """The critical section of :meth:`validate_and_publish`."""
         node = self.node
         authority = self._authority()
@@ -163,6 +186,7 @@ class MasterService(NodeService):
         validated_ts = authority.gen_ts(key)
         if not self.config.publish_before_ack:
             replicas = yield from self.log.publish(entry)
+        self._note_published(key, [patch], validated_ts, checkpoints)
         self.validations_ok += 1
         self.patches_published += 1
         node.sim.trace.annotate(
@@ -198,11 +222,12 @@ class MasterService(NodeService):
         """
         lock = self._lock_for(key)
         retract: list[LogEntry] = []
+        checkpoints: list[CheckpointJob] = []
         yield from lock.acquire()
         try:
             try:
                 payload = yield from self._validate_batch_locked(
-                    key, ts, patches, author, base_ts, retract
+                    key, ts, patches, author, base_ts, retract, checkpoints
                 )
             finally:
                 lock.release()
@@ -216,10 +241,12 @@ class MasterService(NodeService):
             raise
         if retract:
             yield from self.log.retract_many(retract)
+        yield from self._run_checkpoint_jobs(key, checkpoints)
         return payload
 
     def _validate_batch_locked(self, key: str, ts: int, patches: Any, author: str,
-                               base_ts: Optional[int], retract: list[LogEntry]):
+                               base_ts: Optional[int], retract: list[LogEntry],
+                               checkpoints: list[CheckpointJob]):
         """The critical section of :meth:`validate_and_publish_batch`.
 
         Runs with the per-document lock held.  Entries that must be removed
@@ -297,6 +324,7 @@ class MasterService(NodeService):
             # semantics as the unbatched ack-before-publish ablation.
             per_entry = yield from self.log.append_many(entries)
             replicas = min(per_entry)
+        self._note_published(key, patches, first_ts, checkpoints)
         self.batches_ok += 1
         self.batch_edits_published += len(patches)
         node.sim.trace.annotate(
@@ -338,6 +366,200 @@ class MasterService(NodeService):
         )
         return not (still_responsible and authority.last_ts(key) == expected_last_ts)
 
+    # -- checkpointing -----------------------------------------------------------------
+
+    def _note_published(self, key: str, patches: Any, first_ts: int,
+                        checkpoints: list[CheckpointJob]) -> None:
+        """Track the materialized view and schedule a due checkpoint.
+
+        Runs inside the per-document critical section (cheap, local-only):
+        every validated patch is applied to this Master's materialized view
+        of the document, and when the published timestamps cross the
+        checkpoint interval a ``(ts, lines)`` job is appended to
+        ``checkpoints`` — the snapshot lines are captured *here*, while no
+        concurrent proposal can advance the document, and the DHT writes
+        happen after the lock is released.
+        """
+        if not self.config.checkpoint_enabled:
+            return
+        view = self._views.get(key)
+        ts = first_ts
+        for patch in patches:
+            if view is None and ts == 1:
+                view = Document(key=key)
+                self._views[key] = view
+            if view is not None:
+                if view.applied_ts == ts - 1:
+                    view.apply_patch(patch, ts=ts)
+                else:
+                    # A takeover left a view that does not line up with the
+                    # validated sequence; drop it and rebuild from the
+                    # checkpoint + log at the next checkpoint.
+                    self._views.pop(key, None)
+                    view = None
+            ts += 1
+        last_ts = first_ts + len(patches) - 1
+        if last_ts - self._last_checkpoint_ts.get(key, 0) >= self.config.checkpoint_interval:
+            lines = (
+                list(view.lines)
+                if view is not None and view.applied_ts == last_ts
+                else None
+            )
+            checkpoints.append((last_ts, lines))
+            # Recorded eagerly so proposals queued behind this one do not
+            # schedule the same checkpoint again; a failed write simply
+            # waits for the next interval.
+            self._last_checkpoint_ts[key] = last_ts
+
+    def _checkpoint_lock_for(self, key: str) -> FifoLock:
+        """The per-document lock serializing checkpoint-index updates.
+
+        Deliberately distinct from the validation lock: index maintenance
+        performs DHT round-trips and must not stall queued proposers, but
+        two concurrent read-modify-writes of the same index record would
+        lose whichever update lands first.
+        """
+        lock = self._checkpoint_locks.get(key)
+        if lock is None:
+            lock = FifoLock(self.node.sim)
+            self._checkpoint_locks[key] = lock
+        return lock
+
+    def _run_checkpoint_jobs(self, key: str, checkpoints: list[CheckpointJob]):
+        """Execute scheduled checkpoint writes (process, outside the lock)."""
+        for ckpt_ts, lines in checkpoints:
+            yield from self._write_checkpoint(key, ckpt_ts, lines)
+
+    def _write_checkpoint(self, key: str, ts: int, lines: Optional[list[str]]):
+        """Serialized wrapper around :meth:`_write_checkpoint_locked`."""
+        lock = self._checkpoint_lock_for(key)
+        yield from lock.acquire()
+        try:
+            result = yield from self._write_checkpoint_locked(key, ts, lines)
+        finally:
+            lock.release()
+        return result
+
+    def _write_checkpoint_locked(self, key: str, ts: int, lines: Optional[list[str]]):
+        """Materialize, store, index and garbage-collect checkpoints (process).
+
+        ``lines`` is the snapshot content captured under the lock, or
+        ``None`` when this Master has no materialized view at ``ts`` (fresh
+        takeover) — then the state is rebuilt from the newest reachable
+        checkpoint plus the log suffix.  The retained-checkpoint index is
+        re-read from the DHT on every write (checkpoints are rare) so an
+        interim Master's checkpoints are never forgotten, and everything
+        sliding out of the retention window is removed from the DHT — the
+        log's compaction step.  Best effort throughout: on any failure the
+        system simply keeps the previous checkpoints.
+        """
+        node = self.node
+        if lines is None:
+            lines = yield from self._rebuild_lines(key, ts)
+            if lines is None:
+                return None  # log suffix unavailable; retry at the next interval
+        checkpoint = Checkpoint(
+            document_key=key,
+            ts=ts,
+            lines=tuple(lines),
+            created_at=node.sim.now,
+            author=node.address.name,
+        )
+        try:
+            yield from self.log.publish_checkpoint(checkpoint)
+        except CheckpointUnavailable:
+            return None
+        self.checkpoints_written += 1
+        self._last_checkpoint_ts[key] = max(self._last_checkpoint_ts.get(key, 0), ts)
+        stored_index = yield from self.log.fetch_checkpoint_index(key)
+        # Union merge, newest first: an entry *newer* than this write (an
+        # interleaved or out-of-order job) must survive the update, or the
+        # DHT would keep an unindexed — hence never-collected — snapshot.
+        merged = tuple(sorted(set(stored_index or ()) | {ts}, reverse=True))
+        keep = merged[:self.config.checkpoint_retention]
+        drop = merged[self.config.checkpoint_retention:]
+        yield from self.log.publish_checkpoint_index(key, keep)
+        for old_ts in drop:
+            removed = yield from self.log.gc_checkpoint(key, old_ts)
+            self.checkpoint_placements_removed += removed
+        node.sim.trace.annotate(
+            node.sim.now,
+            "ltr-master",
+            f"{node.address.name} checkpointed {key}@{ts} "
+            f"(retained {list(keep)}, collected {list(drop)})",
+        )
+        return ts
+
+    def _rebuild_lines(self, key: str, ts: int) -> Any:
+        """Reconstruct the document state at ``ts`` from checkpoint + log (process).
+
+        Returns the line list, or ``None`` when some log suffix entry is
+        unavailable.  The rebuilt state is adopted as the live view so
+        subsequent validations extend it incrementally.
+        """
+        base = Document(key=key)
+        checkpoint = yield from self.log.latest_checkpoint(key, ts)
+        if checkpoint is not None:
+            base.lines = list(checkpoint.lines)
+            base.applied_ts = checkpoint.ts
+        if base.applied_ts < ts:
+            try:
+                entries = yield from self.log.fetch_range(
+                    key, base.applied_ts + 1, ts,
+                    grouped=self.config.grouped_fetch,
+                )
+            except PatchUnavailable:
+                return None
+            for entry in entries:
+                base.apply_patch(entry.patch, ts=entry.ts)
+        self.checkpoint_rebuilds += 1
+        existing = self._views.get(key)
+        if existing is None or existing.applied_ts < base.applied_ts:
+            self._views[key] = base
+        return list(base.lines)
+
+    def force_checkpoint(self, key: str):
+        """Materialize a checkpoint at the current ``last-ts`` (process driver).
+
+        Used by scenario drivers and the fuzz harness to checkpoint at an
+        arbitrary moment instead of waiting for the interval.  Returns the
+        checkpoint timestamp, or ``None`` when nothing was published yet or
+        the write could not complete.
+        """
+        ts = self._authority().last_ts(key)
+        if ts < 1:
+            return None
+        view = self._views.get(key)
+        lines = list(view.lines) if view is not None and view.applied_ts == ts else None
+        result = yield from self._write_checkpoint(key, ts, lines)
+        return result
+
+    def gc_checkpoints(self, key: str):
+        """Re-apply the retention window to the stored index (process driver).
+
+        Normally a no-op (writes garbage-collect as they go); after churn
+        it removes checkpoints an interim Master retained beyond the
+        window.  Returns how many checkpoints were collected.
+        """
+        lock = self._checkpoint_lock_for(key)
+        yield from lock.acquire()
+        try:
+            index = yield from self.log.fetch_checkpoint_index(key)
+            if not index:
+                return 0
+            ordered = tuple(sorted(index, reverse=True))
+            keep = ordered[:self.config.checkpoint_retention]
+            drop = ordered[self.config.checkpoint_retention:]
+            if not drop:
+                return 0
+            yield from self.log.publish_checkpoint_index(key, keep)
+            for old_ts in drop:
+                removed = yield from self.log.gc_checkpoint(key, old_ts)
+                self.checkpoint_placements_removed += removed
+            return len(drop)
+        finally:
+            lock.release()
+
     # -- diagnostics ------------------------------------------------------------------
 
     def keys_mastered(self) -> dict[str, int]:
@@ -355,6 +577,9 @@ class MasterService(NodeService):
             "batches_behind": self.batches_behind,
             "batches_rejected": self.batches_rejected,
             "batch_edits_published": self.batch_edits_published,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_rebuilds": self.checkpoint_rebuilds,
+            "checkpoint_placements_removed": self.checkpoint_placements_removed,
             "keys_mastered": len(self.keys_mastered()) if self.node is not None else 0,
         }
         if self.log is not None:

@@ -195,7 +195,16 @@ class SyncResult:
     started_at: float = 0.0
     finished_at: float = 0.0
     already_current: bool = False
+    #: Timestamp of the checkpoint the fast path bootstrapped from, or
+    #: ``None`` when the sync replayed patches only (checkpointing off,
+    #: staleness below the interval, or every checkpoint unreachable).
+    checkpoint_ts: Optional[int] = None
     details: dict = field(default_factory=dict)
+
+    @property
+    def used_checkpoint(self) -> bool:
+        """``True`` when the sync bootstrapped from a document snapshot."""
+        return self.checkpoint_ts is not None
 
     @property
     def latency(self) -> float:

@@ -242,12 +242,41 @@ class LtrSystem:
     def log_client(self, via: Optional[str] = None) -> P2PLogClient:
         """A P2P-Log client bound to ``via`` (or an arbitrary live peer)."""
         node = self.ring.node(via) if via is not None else self.ring.gateway()
-        return P2PLogClient(ChordDhtClient(node), self.hash_family)
+        return P2PLogClient(
+            ChordDhtClient(node),
+            self.hash_family,
+            max_parallel=self.ltr_config.max_parallel_fetches,
+        )
 
     def fetch_log(self, key: str, from_ts: int, to_ts: int):
         """Retrieve log entries ``from_ts .. to_ts`` (synchronous driver)."""
         client = self.log_client()
         return self.sim.run(until=self.sim.process(client.fetch_range(key, from_ts, to_ts)))
+
+    # ------------------------------------------------------------- checkpoints --
+
+    def checkpoint_now(self, key: str) -> Optional[int]:
+        """Force the Master-key peer of ``key`` to checkpoint at ``last-ts``.
+
+        Synchronous driver around
+        :meth:`~repro.core.master.MasterService.force_checkpoint`; returns
+        the checkpoint timestamp, or ``None`` when nothing was published
+        yet or the write could not complete.
+        """
+        service = self.master_service(key)
+        return self.sim.run(until=self.sim.process(service.force_checkpoint(key)))
+
+    def gc_checkpoints(self, key: str) -> int:
+        """Re-apply the checkpoint retention window for ``key`` (driver)."""
+        service = self.master_service(key)
+        return self.sim.run(until=self.sim.process(service.gc_checkpoints(key)))
+
+    def latest_checkpoint(self, key: str):
+        """The newest reachable checkpoint of ``key`` (driver; may be ``None``)."""
+        client = self.log_client()
+        return self.sim.run(
+            until=self.sim.process(client.latest_checkpoint(key, self.last_ts(key)))
+        )
 
     # -------------------------------------------------------------- consistency --
 

@@ -31,6 +31,8 @@ from ..errors import (
 from ..ot import (
     Document,
     Patch,
+    install_snapshot,
+    install_snapshot_into_staged,
     integrate_remote_into_staged,
     integrate_remote_patches,
     make_patch,
@@ -69,7 +71,9 @@ class UserPeer:
             hash_family = HashFunctionFamily.create(
                 self.config.log_replication_factor, bits=node.config.bits
             )
-        self.log = P2PLogClient(self.dht, hash_family)
+        self.log = P2PLogClient(
+            self.dht, hash_family, max_parallel=self.config.max_parallel_fetches
+        )
         self.documents: dict[str, Document] = {}
         self.pending: dict[str, Patch] = {}
         self.batches: dict[str, CommitBatch] = {}
@@ -298,6 +302,7 @@ class UserPeer:
             entries = yield from self.log.fetch_range(
                 key, replica.applied_ts + 1, result.last_ts,
                 parallel=self.config.parallel_retrieval,
+                grouped=self.config.grouped_fetch,
             )
             merge = integrate_remote_patches(
                 replica, [(entry.ts, entry.patch) for entry in entries], pending
@@ -410,6 +415,7 @@ class UserPeer:
             entries = yield from self.log.fetch_range(
                 key, replica.applied_ts + 1, result.last_ts,
                 parallel=self.config.parallel_retrieval,
+                grouped=self.config.grouped_fetch,
             )
             staged = integrate_remote_into_staged(
                 replica, [(entry.ts, entry.patch) for entry in entries], staged
@@ -430,6 +436,15 @@ class UserPeer:
         Simulation process returning a :class:`~repro.core.protocol.SyncResult`.
         Pending local edits, if any, are transformed so they still apply to
         the refreshed replica.
+
+        With ``config.checkpoint_enabled``, a replica more than
+        ``checkpoint_interval`` timestamps behind first bootstraps from the
+        newest reachable checkpoint at or below the Master's ``last-ts``
+        (installing the snapshot and rebasing pending / staged-batch edits
+        over the jump), then fetches only the remaining suffix — so a cold
+        catch-up costs O(staleness past the last checkpoint) instead of
+        O(document age).  When every checkpoint replica is unreachable the
+        sync silently falls back to the paper's full log replay.
         """
         started_at = self.node.sim.now
         replica = self.document(key)
@@ -462,9 +477,19 @@ class UserPeer:
             return result
 
         from_ts = replica.applied_ts
+        checkpoint_ts = None
+        if (
+            self.config.checkpoint_enabled
+            and last_ts - replica.applied_ts > self.config.checkpoint_interval
+        ):
+            checkpoint = yield from self.log.latest_checkpoint(key, last_ts)
+            if checkpoint is not None and checkpoint.ts > replica.applied_ts:
+                self._install_checkpoint(key, replica, checkpoint)
+                checkpoint_ts = checkpoint.ts
         entries = yield from self.log.fetch_range(
             key, replica.applied_ts + 1, last_ts,
             parallel=self.config.parallel_retrieval,
+            grouped=self.config.grouped_fetch,
         )
         pairs = [(entry.ts, entry.patch) for entry in entries]
         pending = self.pending.get(key)
@@ -488,9 +513,33 @@ class UserPeer:
             retrieved_patches=len(entries),
             started_at=started_at,
             finished_at=self.node.sim.now,
+            checkpoint_ts=checkpoint_ts,
         )
         self.sync_results.append(result)
         return result
+
+    def _install_checkpoint(self, key: str, replica: Document, checkpoint) -> None:
+        """Install a snapshot as the replica's validated state (fast path).
+
+        Local tentative edits survive the jump: a pending patch is
+        transformed against the synthetic snapshot diff
+        (:func:`~repro.ot.install_snapshot`), a staged batch chain through
+        its chained counterpart — mirroring how the full-replay path
+        rebases them patch by patch.
+        """
+        batch = self.batches.get(key)
+        if batch is not None and len(batch) > 0:
+            self.pending.pop(key, None)  # can only be empty; see sync()
+            batch.replace_patches(
+                install_snapshot_into_staged(
+                    replica, checkpoint.lines, checkpoint.ts, batch.patches
+                )
+            )
+            return
+        pending = self.pending.get(key)
+        rebased = install_snapshot(replica, checkpoint.lines, checkpoint.ts, pending)
+        if pending is not None and rebased is not None:
+            self.pending[key] = rebased
 
     def last_known_ts(self, key: str) -> int:
         """Timestamp of the last patch integrated into the local replica."""

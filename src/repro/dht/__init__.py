@@ -1,7 +1,7 @@
 """DHT client facade: a uniform put/get/lookup interface over Chord or a local table."""
 
-from .api import DhtClient, PutItem
+from .api import DhtClient, GetItem, PutItem
 from .chord_client import ChordDhtClient
 from .local import LocalDht
 
-__all__ = ["ChordDhtClient", "DhtClient", "LocalDht", "PutItem"]
+__all__ = ["ChordDhtClient", "DhtClient", "GetItem", "LocalDht", "PutItem"]

@@ -17,11 +17,15 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Optional, Sequence
 
-from ..errors import PLACEMENT_FAILURES
+from ..errors import PLACEMENT_FAILURES, KeyNotFound
 
 #: One item of a batched store: ``(key, value, key_id)`` where ``key_id`` may
 #: be ``None`` to let the implementation hash ``key`` itself.
 PutItem = tuple[str, Any, Optional[int]]
+
+#: One item of a batched fetch: ``(key, key_id)`` where ``key_id`` may be
+#: ``None`` to let the implementation hash ``key`` itself.
+GetItem = tuple[str, Optional[int]]
 
 
 class DhtClient(ABC):
@@ -57,6 +61,31 @@ class DhtClient(ABC):
     @abstractmethod
     def get(self, key: str, *, key_id: Optional[int] = None):
         """Fetch the value stored under ``key`` (process; raises KeyNotFound)."""
+
+    def get_many(self, items: Sequence[GetItem]):
+        """Fetch several items in one batched operation (process).
+
+        Returns ``{"values": [value-or-None per item], "owners": int,
+        "hops": int}`` — a missing or unreachable item yields ``None`` in
+        place, never an exception, so callers can fall back per item.  The
+        default implementation loops over :meth:`get` (one routed read per
+        item); implementations backed by a real overlay override it to
+        group items by responsible peer so a range read costs one RPC per
+        owner (the checkpointed retrieval fast path relies on this).
+        """
+        values: list[Any] = []
+        owners: set[Any] = set()
+        hops = 0
+        for key, key_id in items:
+            try:
+                answer = yield from self.get(key, key_id=key_id)
+            except (KeyNotFound, *PLACEMENT_FAILURES):
+                values.append(None)
+                continue
+            values.append(answer["value"])
+            owners.add(answer.get("owner"))
+            hops += answer.get("hops", 0)
+        return {"values": values, "owners": len(owners), "hops": hops}
 
     @abstractmethod
     def remove(self, key: str, *, key_id: Optional[int] = None):

@@ -6,7 +6,7 @@ from typing import Any, Optional, Sequence
 
 from ..chord import ChordNode, hash_to_id
 from ..errors import PLACEMENT_FAILURES
-from .api import DhtClient, PutItem
+from .api import DhtClient, GetItem, PutItem
 
 
 class ChordDhtClient(DhtClient):
@@ -118,6 +118,72 @@ class ChordDhtClient(DhtClient):
     def get(self, key: str, *, key_id: Optional[int] = None):
         result = yield from self.node.get(key, key_id=key_id)
         return result
+
+    def get_many(self, items: Sequence[GetItem]):
+        """Batched fetch: group items by responsible peer, one RPC per peer.
+
+        The read-side mirror of :meth:`put_many`: all placements are
+        resolved concurrently (repeated lookups towards the same arc are
+        served by the route cache), the items are grouped by owner, and
+        each owner answers its whole group through a single ``fetch_many``
+        RPC.  An item whose placement cannot be resolved, whose owner is
+        unreachable, or which the owner does not hold is reported as
+        ``None``; the batch itself never fails wholesale.
+        """
+        items = list(items)
+        if not items:
+            return {"values": [], "owners": 0, "hops": 0}
+        sim = self.node.sim
+        resolutions = [
+            sim.process(
+                self._resolve_placement(key, key_id),
+                name=f"resolve:{key}",
+            )
+            for key, key_id in items
+        ]
+        yield sim.all_of(resolutions)
+        values: list[Any] = [None] * len(items)
+        hops = 0
+        groups: dict[Any, list[int]] = {}
+        for index, resolution in enumerate(resolutions):
+            outcome = resolution.value
+            if outcome is None:
+                continue
+            owner, answer_hops = outcome
+            hops += answer_hops
+            groups.setdefault(owner, []).append(index)
+        reads = [
+            (
+                indexes,
+                sim.process(
+                    self._fetch_group(owner, [items[i][0] for i in indexes]),
+                    name=f"fetch_many:{owner.address.name}",
+                ),
+            )
+            for owner, indexes in groups.items()
+        ]
+        if reads:
+            yield sim.all_of([process for _indexes, process in reads])
+        for indexes, process in reads:
+            found = process.value
+            if not found:
+                continue
+            for index in indexes:
+                values[index] = found.get(items[index][0])
+        return {"values": values, "owners": len(groups), "hops": hops}
+
+    def _fetch_group(self, owner, keys: Sequence[str]):
+        """Read one owner's share of a batch in a single RPC; ``None`` on failure."""
+        try:
+            answer = yield self.node.rpc.call(
+                owner.address,
+                "fetch_many",
+                keys=list(keys),
+                timeout=self.node.config.rpc_timeout,
+            )
+        except PLACEMENT_FAILURES:
+            return None
+        return answer
 
     def remove(self, key: str, *, key_id: Optional[int] = None):
         result = yield from self.node.remove(key, key_id=key_id)

@@ -144,6 +144,21 @@ class PatchUnavailable(LogError):
         self.ts = ts
 
 
+class CheckpointUnavailable(LogError):
+    """A document checkpoint could not be retrieved from any placement.
+
+    Unlike :class:`PatchUnavailable` this is rarely fatal: checkpoints are
+    an acceleration structure, so callers fall back to replaying the full
+    patch log when no replica answers.
+    """
+
+    def __init__(self, key: str, ts: object = None) -> None:
+        what = f"checkpoint ({key!r}, ts={ts})" if ts is not None else f"checkpoints of {key!r}"
+        super().__init__(f"{what} unavailable at all placements")
+        self.key = key
+        self.ts = ts
+
+
 # ---------------------------------------------------------------------------
 # Reconciliation / OT
 # ---------------------------------------------------------------------------

@@ -34,6 +34,7 @@ QUICK_PARAMETERS: dict[str, dict] = {
     "E10": {"profiles": ("stable", "aggressive"), "peers": 10, "duration": 15.0,
             "commit_interval": 1.5},
     "E11": {"batch_sizes": (1, 4, 16), "peers": 10, "edits": 32},
+    "E12": {"histories": (24, 48), "peers": 8, "checkpoint_interval": 8},
 }
 
 #: Parameters closer to the paper's demonstration scale (slower).
@@ -53,6 +54,7 @@ FULL_PARAMETERS: dict[str, dict] = {
     "E10": {"profiles": ("stable", "gentle", "aggressive"), "peers": 14,
             "duration": 30.0, "commit_interval": 1.0},
     "E11": {"batch_sizes": (1, 2, 4, 8, 16, 32), "peers": 16, "edits": 96},
+    "E12": {"histories": (64, 128, 256), "peers": 12, "checkpoint_interval": 32},
 }
 
 

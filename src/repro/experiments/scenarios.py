@@ -55,6 +55,7 @@ __all__ = [
     "experiment_batched_commit",
     "experiment_chord_lookup",
     "experiment_churn_soak",
+    "experiment_cold_sync",
     "experiment_concurrent_publishing",
     "experiment_hot_document_skew",
     "experiment_log_availability",
@@ -1085,6 +1086,97 @@ def experiment_batched_commit(
 
 
 # ---------------------------------------------------------------------------
+# E12 — Cold-start sync cost vs. history length — engine-native scenario
+# ---------------------------------------------------------------------------
+
+
+def _measure_cold_sync(ctx: ScenarioContext) -> dict:
+    history = ctx.params["history"]
+    checkpointing = ctx.params["checkpointing"]
+    peers = ctx.params["peers"]
+    interval = ctx.params["checkpoint_interval"]
+    config = LtrConfig(
+        checkpoint_enabled=checkpointing,
+        checkpoint_interval=interval,
+        grouped_fetch=checkpointing,
+    )
+    system = ctx.build_system(peers, ltr_config=config)
+    writer = system.peer_names()[0]
+    cold = system.peer_names()[1]
+    key = f"xwiki:cold-{history}"
+    for index in range(history):
+        system.edit_and_commit(
+            writer, key, "\n".join(f"line-{line}-rev-{index}" for line in range(4))
+        )
+    system.run_for(1.0)  # let checkpoint/log replicas settle
+    # Delta over the cold sync only: history building and the post-sync
+    # consistency check must not pollute the catch-up cost.
+    messages_before = system.network.stats.snapshot()["sent"]
+    result = system.sync(cold, key)
+    sync_messages = system.network.stats.snapshot()["sent"] - messages_before
+    report = system.check_consistency(key)
+    return {
+        "history": history,
+        "checkpointing": checkpointing,
+        "sync_messages": sync_messages,
+        "retrieved_patches": result.retrieved_patches,
+        "used_checkpoint": result.used_checkpoint,
+        "checkpoint_ts": result.checkpoint_ts or 0,
+        "sync_latency_s": result.latency,
+        "synced_ts": result.to_ts,
+        "converged": report.converged,
+    }
+
+
+def cold_sync_spec(
+    histories: Sequence[int] = (32, 64, 128),
+    peers: int = 10,
+    checkpoint_interval: int = 16,
+    seed: int = 12,
+) -> ScenarioSpec:
+    """Cold-start catch-up cost vs. document age, with/without checkpoints."""
+    return ScenarioSpec(
+        scenario_id="E12",
+        title="E12 Cold-start sync cost vs. history length",
+        description=(
+            "Scaling extension: a peer that never synced catches up on a "
+            "document of growing age.  The paper's retrieval procedure "
+            "replays the whole patch log (cost O(history)); with the "
+            "checkpointing subsystem the peer bootstraps from the newest "
+            "DHT-stored snapshot and fetches only the suffix through the "
+            "grouped fetch_span path (cost O(staleness past the last "
+            "checkpoint))."
+        ),
+        columns=(
+            "history", "checkpointing", "sync_messages", "retrieved_patches",
+            "used_checkpoint", "checkpoint_ts", "sync_latency_s", "synced_ts",
+            "converged",
+        ),
+        grid={"history": tuple(histories), "checkpointing": (False, True)},
+        constants={"peers": peers, "checkpoint_interval": checkpoint_interval},
+        seed=seed,
+        # Same derived seed at every grid point: both arms of each history
+        # length replay the identical ring and editing run.
+        measure=_measure_cold_sync,
+        notes=(
+            "expected shape: without checkpoints sync messages grow linearly with "
+            "history; with checkpoints they stay bounded by the checkpoint interval, "
+            "a >=5x message saving at history 256 (see benchmarks/bench_cold_sync.py)",
+        ),
+    )
+
+
+def experiment_cold_sync(
+    histories: Sequence[int] = (32, 64, 128),
+    peers: int = 10,
+    checkpoint_interval: int = 16,
+    seed: int = 12,
+) -> ResultTable:
+    """Legacy-style entry point for E12; see :func:`cold_sync_spec`."""
+    return run_scenario(cold_sync_spec(histories, peers, checkpoint_interval, seed)).table
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -1101,6 +1193,7 @@ SPEC_FACTORIES: dict[str, Callable[..., ScenarioSpec]] = {
     "E9": hot_document_skew_spec,
     "E10": churn_soak_spec,
     "E11": batched_commit_spec,
+    "E12": cold_sync_spec,
 }
 
 
@@ -1118,4 +1211,5 @@ def iter_all_experiments() -> Iterable[tuple[str, Callable[..., ResultTable]]]:
         ("E9", experiment_hot_document_skew),
         ("E10", experiment_churn_soak),
         ("E11", experiment_batched_commit),
+        ("E12", experiment_cold_sync),
     ]

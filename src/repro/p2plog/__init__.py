@@ -1,6 +1,20 @@
 """P2P-Log: the highly available, DHT-resident log of timestamped patches."""
 
+from .checkpoint import (
+    CHECKPOINT_SALT_PREFIX,
+    Checkpoint,
+    make_checkpoint_index_key,
+    make_checkpoint_key,
+)
 from .entry import LogEntry, make_log_key
 from .log import P2PLogClient
 
-__all__ = ["LogEntry", "P2PLogClient", "make_log_key"]
+__all__ = [
+    "CHECKPOINT_SALT_PREFIX",
+    "Checkpoint",
+    "LogEntry",
+    "P2PLogClient",
+    "make_checkpoint_index_key",
+    "make_checkpoint_key",
+    "make_log_key",
+]

@@ -1,0 +1,84 @@
+"""Document checkpoints: materialized snapshots stored in the P2P-Log's DHT.
+
+The paper's retrieval procedure (Procedure 3) replays the timestamped patch
+log from the reader's ``applied_ts`` onward, so a freshly joined or
+long-offline peer pays O(document age) routed fetches.  A
+:class:`Checkpoint` is a full snapshot of a document at one validated
+timestamp, materialized by the Master-key peer every
+``checkpoint_interval`` published timestamps and replicated at ``|Hr|``
+distinct peers through a *salted checkpoint hash family* (``Hc``, salts
+``hc1 .. hcN``) — exactly mirroring the Log-Peer placement of patches, so
+checkpoint placements enjoy the same hand-off-on-churn and
+successor-replication guarantees as log entries.
+
+Discovery uses a per-document *checkpoint index*: a small record listing
+the retained checkpoint timestamps (newest first), stored under the same
+hash family.  Readers fetch the index, then the newest checkpoint at or
+below their target timestamp, and fall back to full log replay when
+neither answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Salt prefix of the checkpoint hash family (``Hc``), kept distinct from
+#: the patch replication family's ``hr`` salts so checkpoint and log
+#: placements of the same document are independent.
+CHECKPOINT_SALT_PREFIX = "hc"
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A full snapshot of one document at one validated timestamp.
+
+    Attributes
+    ----------
+    document_key:
+        The document this snapshot belongs to.
+    ts:
+        The validated timestamp the snapshot materializes: applying patches
+        ``1 .. ts`` of the log in order yields exactly ``lines``.
+    lines:
+        The document content at ``ts``, line by line.
+    created_at:
+        Simulated time at which the Master-key peer materialized it.
+    author:
+        Name of the Master-key peer that produced the snapshot.
+    metadata:
+        Optional free-form annotations (not part of equality).
+    """
+
+    document_key: str
+    ts: int
+    lines: tuple[str, ...] = ()
+    created_at: float = 0.0
+    author: str = "master"
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.ts < 1:
+            raise ValueError(f"checkpoint timestamps start at 1, got {self.ts}")
+        object.__setattr__(self, "lines", tuple(self.lines))
+
+    @property
+    def checkpoint_key(self) -> str:
+        """The logical string hashed by the checkpoint hash family."""
+        return make_checkpoint_key(self.document_key, self.ts)
+
+    def describe(self) -> str:
+        """One-line human readable description (used in traces)."""
+        return f"{self.document_key}@{self.ts} snapshot ({len(self.lines)} lines)"
+
+
+def make_checkpoint_key(document_key: str, ts: int) -> str:
+    """The canonical placement string of the checkpoint ``(key, ts)``."""
+    if ts < 1:
+        raise ValueError(f"checkpoint timestamps start at 1, got {ts}")
+    return f"{document_key}!ckpt#{ts}"
+
+
+def make_checkpoint_index_key(document_key: str) -> str:
+    """The canonical placement string of a document's checkpoint index."""
+    return f"{document_key}!ckpt-index"

@@ -14,7 +14,19 @@ from typing import Any, Optional, Sequence
 
 from ..chord import HashFunctionFamily
 from ..dht import DhtClient
-from ..errors import KeyNotFound, NodeUnreachable, PatchUnavailable, RequestTimeout
+from ..errors import (
+    CheckpointUnavailable,
+    KeyNotFound,
+    NodeUnreachable,
+    PatchUnavailable,
+    RequestTimeout,
+)
+from .checkpoint import (
+    CHECKPOINT_SALT_PREFIX,
+    Checkpoint,
+    make_checkpoint_index_key,
+    make_checkpoint_key,
+)
 from .entry import LogEntry, make_log_key
 
 _RETRIEVAL_ERRORS = (KeyNotFound, RequestTimeout, NodeUnreachable)
@@ -30,6 +42,8 @@ class P2PLogClient:
         *,
         replication_factor: int = 3,
         bits: Optional[int] = None,
+        checkpoint_family: Optional[HashFunctionFamily] = None,
+        max_parallel: int = 16,
     ) -> None:
         if hash_family is None:
             effective_bits = bits if bits is not None else getattr(dht, "bits", None)
@@ -37,12 +51,30 @@ class P2PLogClient:
                 hash_family = HashFunctionFamily.create(replication_factor)
             else:
                 hash_family = HashFunctionFamily.create(replication_factor, bits=effective_bits)
+        if checkpoint_family is None:
+            # Same |Hr| and identifier width as the patch placements, but
+            # independent salts: a document's checkpoints live at different
+            # Log-Peers than its patches.
+            checkpoint_family = HashFunctionFamily.create(
+                len(hash_family),
+                bits=hash_family[0].bits,
+                prefix=CHECKPOINT_SALT_PREFIX,
+            )
+        if max_parallel < 1:
+            raise ValueError(f"max_parallel must be >= 1, got {max_parallel}")
         self.dht = dht
         self.hash_family = hash_family
+        self.checkpoint_family = checkpoint_family
+        self.max_parallel = max_parallel
         self.published_entries = 0
         self.batched_publishes = 0
         self.retrievals = 0
         self.fallback_reads = 0
+        self.span_fetches = 0
+        self.checkpoints_published = 0
+        self.checkpoints_fetched = 0
+        self.checkpoint_misses = 0
+        self.checkpoints_removed = 0
 
     @property
     def replication_factor(self) -> int:
@@ -163,7 +195,7 @@ class P2PLogClient:
         raise PatchUnavailable(document_key, ts)
 
     def fetch_range(self, document_key: str, from_ts: int, to_ts: int, *,
-                    parallel: bool = False):
+                    parallel: bool = False, grouped: bool = False):
         """Retrieve entries ``from_ts .. to_ts`` inclusive, in timestamp order.
 
         This is the retrieval procedure a user peer runs when the Master-key
@@ -173,12 +205,19 @@ class P2PLogClient:
 
         The paper fetches one missing patch at a time (``get(hi(key+ts))``);
         ``parallel=True`` is the ablation discussed in ``DESIGN.md``: all
-        missing timestamps are requested concurrently and the results are
-        re-assembled in timestamp order, trading extra in-flight messages
-        for lower retrieval latency.
+        missing timestamps are requested concurrently (at most
+        :attr:`max_parallel` in flight) and the results are re-assembled in
+        timestamp order, trading extra in-flight messages for lower
+        retrieval latency.  ``grouped=True`` replaces the per-timestamp
+        loop of both modes with :meth:`fetch_span`: one ``fetch_many``
+        request per responsible Log-Peer returning everything it holds in
+        the range.
         """
         if from_ts > to_ts:
             return []
+        if grouped:
+            entries = yield from self.fetch_span(document_key, from_ts, to_ts)
+            return entries
         if parallel:
             entries = yield from self._fetch_range_parallel(document_key, from_ts, to_ts)
             return entries
@@ -188,15 +227,69 @@ class P2PLogClient:
             entries.append(entry)
         return entries
 
+    def fetch_span(self, document_key: str, from_ts: int, to_ts: int):
+        """Grouped retrieval of ``from_ts .. to_ts`` (process).
+
+        The range's primary placements (``h1(key+ts)``) are resolved
+        concurrently, grouped by responsible Log-Peer and fetched with one
+        ``fetch_many`` RPC per peer — so a cold catch-up over *n* entries
+        costs one request per distinct Log-Peer instead of *n* routed
+        round-trips.  A timestamp the grouped read could not serve (its
+        primary Log-Peer is down or lost the entry) falls back to the
+        paper's per-timestamp retrieval chain over the remaining hash
+        functions; :class:`~repro.errors.PatchUnavailable` is raised only
+        when every placement of some entry is gone.
+        """
+        if from_ts > to_ts:
+            return []
+        primary = self.hash_family[0]
+        entries = []
+        # Windowed like the parallel mode: each get_many resolves its
+        # items' placements concurrently, so handing it the whole range at
+        # once would put one in-flight routing per timestamp on the wire —
+        # exactly the flood max_parallel exists to prevent.
+        window_start = from_ts
+        while window_start <= to_ts:
+            window_end = min(window_start + self.max_parallel - 1, to_ts)
+            items = []
+            for ts in range(window_start, window_end + 1):
+                log_key = make_log_key(document_key, ts)
+                items.append((primary.placement_key(log_key), primary(log_key)))
+            answer = yield from self.dht.get_many(items)
+            for offset, value in enumerate(answer["values"]):
+                ts = window_start + offset
+                if value is None:
+                    # Fall back to the per-timestamp chain (counts its own
+                    # retrieval and fallback statistics).
+                    value = yield from self.fetch(document_key, ts)
+                else:
+                    self.retrievals += 1
+                entries.append(value)
+            window_start = window_end + 1
+        self.span_fetches += 1
+        return entries
+
     def _fetch_range_parallel(self, document_key: str, from_ts: int, to_ts: int):
-        """Concurrent variant of :meth:`fetch_range` (one process per timestamp)."""
+        """Concurrent variant of :meth:`fetch_range` (one process per timestamp).
+
+        In-flight fetches are bounded by :attr:`max_parallel`: the range is
+        worked through in windows of that size, so a very long catch-up
+        (hundreds of missing timestamps) cannot flood the network with one
+        simultaneous routed lookup per entry.
+        """
         sim = self._sim()
-        processes = [
-            sim.process(self.fetch(document_key, ts), name=f"fetch:{document_key}@{ts}")
-            for ts in range(from_ts, to_ts + 1)
-        ]
-        yield sim.all_of(processes)
-        return [process.value for process in processes]
+        entries: list[Any] = []
+        window_start = from_ts
+        while window_start <= to_ts:
+            window_end = min(window_start + self.max_parallel - 1, to_ts)
+            processes = [
+                sim.process(self.fetch(document_key, ts), name=f"fetch:{document_key}@{ts}")
+                for ts in range(window_start, window_end + 1)
+            ]
+            yield sim.all_of(processes)
+            entries.extend(process.value for process in processes)
+            window_start = window_end + 1
+        return entries
 
     def _sim(self):
         """The simulator driving the underlying DHT client."""
@@ -225,6 +318,139 @@ class P2PLogClient:
                 continue
         return alive
 
+    # -- checkpoints -------------------------------------------------------------
+
+    def publish_checkpoint(self, checkpoint: Checkpoint):
+        """Store ``checkpoint`` at all its placements (process).
+
+        Mirrors :meth:`publish`: one ``Put`` per checkpoint hash function,
+        skipping unreachable placements, succeeding as long as at least one
+        copy lands.  Returns the number of placements written.
+        """
+        checkpoint_key = checkpoint.checkpoint_key
+        stored = 0
+        for function in self.checkpoint_family:
+            storage_key = function.placement_key(checkpoint_key)
+            try:
+                yield from self.dht.put(storage_key, checkpoint, key_id=function(checkpoint_key))
+                stored += 1
+            except (RequestTimeout, NodeUnreachable):
+                continue
+        if stored == 0:
+            raise CheckpointUnavailable(checkpoint.document_key, checkpoint.ts)
+        self.checkpoints_published += 1
+        return stored
+
+    def publish_checkpoint_index(self, document_key: str, timestamps: Sequence[int]):
+        """Store the retained-checkpoint index of ``document_key`` (process).
+
+        ``timestamps`` lists the retained checkpoint timestamps newest
+        first.  Best effort: returns the number of placements written (0
+        when every placement is unreachable — readers then fall back to a
+        full log replay).
+        """
+        index_key = make_checkpoint_index_key(document_key)
+        value = tuple(timestamps)
+        stored = 0
+        for function in self.checkpoint_family:
+            storage_key = function.placement_key(index_key)
+            try:
+                yield from self.dht.put(storage_key, value, key_id=function(index_key))
+                stored += 1
+            except (RequestTimeout, NodeUnreachable):
+                continue
+        return stored
+
+    def fetch_checkpoint_index(self, document_key: str):
+        """The retained checkpoint timestamps of ``document_key`` (process).
+
+        Returns a tuple, newest first, or ``None`` when no placement of the
+        index answers (no checkpoint was ever taken, or all holders are
+        unreachable).
+        """
+        index_key = make_checkpoint_index_key(document_key)
+        for function in self.checkpoint_family:
+            storage_key = function.placement_key(index_key)
+            try:
+                answer = yield from self.dht.get(storage_key, key_id=function(index_key))
+            except _RETRIEVAL_ERRORS:
+                continue
+            return tuple(answer["value"])
+        return None
+
+    def fetch_checkpoint(self, document_key: str, ts: int):
+        """Retrieve the checkpoint ``(document_key, ts)`` (process).
+
+        Tries the checkpoint hash functions in order, like :meth:`fetch`;
+        raises :class:`~repro.errors.CheckpointUnavailable` when no
+        placement answers.
+        """
+        checkpoint_key = make_checkpoint_key(document_key, ts)
+        for function in self.checkpoint_family:
+            storage_key = function.placement_key(checkpoint_key)
+            try:
+                answer = yield from self.dht.get(storage_key, key_id=function(checkpoint_key))
+            except _RETRIEVAL_ERRORS:
+                continue
+            self.checkpoints_fetched += 1
+            return answer["value"]
+        self.checkpoint_misses += 1
+        raise CheckpointUnavailable(document_key, ts)
+
+    def latest_checkpoint(self, document_key: str, max_ts: int):
+        """The newest reachable checkpoint with ``ts <= max_ts`` (process).
+
+        This is the bootstrap step of the checkpointed retrieval fast path:
+        fetch the checkpoint index, then try the retained timestamps newest
+        first.  Returns ``None`` — *never* raises — when no index placement
+        answers or every listed checkpoint is unreachable, so callers
+        degrade gracefully to the paper's full log replay.
+        """
+        if max_ts < 1:
+            return None
+        index = yield from self.fetch_checkpoint_index(document_key)
+        if not index:
+            return None
+        for ts in index:
+            if ts > max_ts:
+                continue
+            try:
+                checkpoint = yield from self.fetch_checkpoint(document_key, ts)
+            except CheckpointUnavailable:
+                continue
+            return checkpoint
+        return None
+
+    def gc_checkpoint(self, document_key: str, ts: int):
+        """Best-effort removal of every placement of one checkpoint (process).
+
+        Called by the Master-key peer when a checkpoint slides out of the
+        retention window.  Unreachable placements are skipped; the
+        checkpoint index is updated separately so readers never look for a
+        collected snapshot.  Returns the number of placements removed.
+        """
+        checkpoint_key = make_checkpoint_key(document_key, ts)
+        removed = 0
+        for function in self.checkpoint_family:
+            storage_key = function.placement_key(checkpoint_key)
+            try:
+                answer = yield from self.dht.remove(storage_key, key_id=function(checkpoint_key))
+            except _RETRIEVAL_ERRORS:
+                continue
+            if answer.get("removed"):
+                removed += 1
+        if removed:
+            self.checkpoints_removed += 1
+        return removed
+
+    def checkpoint_placements(self, document_key: str, ts: int) -> list[tuple[str, int]]:
+        """The ``(storage key, ring identifier)`` placements of a checkpoint."""
+        checkpoint_key = make_checkpoint_key(document_key, ts)
+        return [
+            (function.placement_key(checkpoint_key), function(checkpoint_key))
+            for function in self.checkpoint_family
+        ]
+
     # -- diagnostics ----------------------------------------------------------------
 
     def placements(self, document_key: str, ts: int) -> list[tuple[str, int]]:
@@ -242,5 +468,10 @@ class P2PLogClient:
             "batched_publishes": self.batched_publishes,
             "retrievals": self.retrievals,
             "fallback_reads": self.fallback_reads,
+            "span_fetches": self.span_fetches,
+            "checkpoints_published": self.checkpoints_published,
+            "checkpoints_fetched": self.checkpoints_fetched,
+            "checkpoint_misses": self.checkpoint_misses,
+            "checkpoints_removed": self.checkpoints_removed,
             "replication_factor": self.replication_factor,
         }

@@ -40,32 +40,55 @@ def generate_actions(seed: int, steps: int = STEPS) -> list[tuple]:
     * ``("sync", writer_index, key)``
     * ``("join", tag)``
     * ``("depart_master", key, crash?)`` — re-election of the key's Master
+    * ``("checkpoint", key)`` — force a checkpoint at the current last-ts
+    * ``("gc", key)`` — re-apply the checkpoint retention window
+    * ``("cold_join", tag, key)`` — a fresh peer joins and cold-syncs ``key``
     * ``("settle", seconds)``
     """
     rng = RandomStreams(seed).stream("fuzz-actions")
     actions: list[tuple] = []
     for step in range(steps):
         roll = rng.random()
-        if roll < 0.45:
+        if roll < 0.40:
             lines = rng.randint(1, 4)
             actions.append(("edit", rng.randrange(WRITERS), rng.choice(KEYS),
                             [f"r{step}l{line}" for line in range(lines)]))
-        elif roll < 0.60:
+        elif roll < 0.52:
             actions.append(("flush", rng.randrange(WRITERS), rng.choice(KEYS)))
-        elif roll < 0.70:
+        elif roll < 0.60:
             actions.append(("sync", rng.randrange(WRITERS), rng.choice(KEYS)))
-        elif roll < 0.78:
+        elif roll < 0.66:
             actions.append(("join", step))
-        elif roll < 0.88:
+        elif roll < 0.74:
             actions.append(("depart_master", rng.choice(KEYS), rng.random() < 0.5))
+        elif roll < 0.80:
+            actions.append(("checkpoint", rng.choice(KEYS)))
+        elif roll < 0.85:
+            actions.append(("gc", rng.choice(KEYS)))
+        elif roll < 0.91:
+            actions.append(("cold_join", step, rng.choice(KEYS)))
         else:
             actions.append(("settle", round(rng.uniform(0.5, 2.0), 3)))
     return actions
 
 
 def run_actions(seed: int, batched: bool, actions: list[tuple]) -> None:
-    """Replay an action script and assert the invariants at the end."""
-    config = LtrConfig(batch_enabled=True, batch_max_edits=4) if batched else LtrConfig()
+    """Replay an action script and assert the invariants at the end.
+
+    Both pipelines run with the checkpointing subsystem enabled (small
+    interval, grouped fetch) so the fuzz covers checkpoint production, GC
+    and cold-start syncs interleaved with flushes, churn and re-elections.
+    """
+    checkpointing = {
+        "checkpoint_enabled": True,
+        "checkpoint_interval": 4,
+        "checkpoint_retention": 2,
+        "grouped_fetch": True,
+    }
+    config = (
+        LtrConfig(batch_enabled=True, batch_max_edits=4, **checkpointing)
+        if batched else LtrConfig(**checkpointing)
+    )
     system = LtrSystem(ltr_config=config, seed=seed, latency=ConstantLatency(0.004))
     system.bootstrap(PEERS)
     writers = system.peer_names()[:WRITERS]
@@ -101,6 +124,15 @@ def run_actions(seed: int, batched: bool, actions: list[tuple]) -> None:
                     system.crash(master)
                 else:
                     system.leave(master)
+            elif kind == "checkpoint":
+                system.checkpoint_now(action[1])
+            elif kind == "gc":
+                system.gc_checkpoints(action[1])
+            elif kind == "cold_join":
+                _, tag, key = action
+                name = f"cold-joiner-{tag}"
+                system.add_peer(name)
+                system.sync(name, key)
             elif kind == "settle":
                 system.run_for(action[1])
         except ReproError:
@@ -140,6 +172,7 @@ def _shrink(seed: int, batched: bool, actions: list[tuple]) -> int:
     return best
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("batched", [False, True], ids=["unbatched", "batched"])
 @pytest.mark.parametrize("seed", [8, 71, 512])
 def test_fuzzed_interleavings_preserve_invariants(seed, batched):

@@ -11,7 +11,7 @@ seeded multi-writer runs of both paths.
 import pytest
 
 from repro.core import CommitBatch, LtrConfig, LtrSystem
-from repro.core.consistency import verify_log_continuity
+from repro.core.consistency import replay_log, verify_log_continuity
 from repro.errors import ConfigurationError, ReproError
 from repro.net import ConstantLatency
 from repro.sim.rng import RandomStreams
@@ -57,12 +57,57 @@ def assert_replicas_converge(system: LtrSystem, key: str):
     return report
 
 
+def assert_checkpoint_placements(system: LtrSystem, key: str):
+    """Every retained checkpoint of ``key`` is correct, placed and reachable.
+
+    The checkpoint-placement invariant of the checkpointing subsystem: each
+    timestamp listed in the document's checkpoint index must resolve to a
+    retrievable snapshot whose content equals the canonical replay of log
+    entries ``1 .. ts``, and at least one peer currently responsible for a
+    placement of the ``Hc`` hash family must hold a copy (hand-off on
+    churn keeps placements with the responsible arc).
+    """
+    client = system.log_client()
+    index = system.sim.run(until=system.sim.process(client.fetch_checkpoint_index(key)))
+    if not index:
+        return ()
+    assert list(index) == sorted(index, reverse=True), (
+        f"checkpoint index of {key!r} is not newest-first: {index}"
+    )
+    for ts in index:
+        checkpoint = system.sim.run(
+            until=system.sim.process(client.fetch_checkpoint(key, ts))
+        )
+        assert checkpoint.document_key == key and checkpoint.ts == ts
+        entries = system.sim.run(
+            until=system.sim.process(client.fetch_range(key, 1, ts))
+        )
+        canonical = replay_log(key, entries)
+        assert list(checkpoint.lines) == canonical.lines, (
+            f"checkpoint {key!r}@{ts} does not match the log replay"
+        )
+        held = sum(
+            1
+            for storage_key, identifier in client.checkpoint_placements(key, ts)
+            if system.ring.responsible_node_for_id(identifier).storage.value(storage_key)
+            == checkpoint
+        )
+        assert held >= 1, f"no responsible peer holds checkpoint {key!r}@{ts}"
+    return index
+
+
 def assert_system_invariants(system: LtrSystem, keys) -> None:
-    """All three paper invariants, over every given document key."""
+    """All three paper invariants, over every given document key.
+
+    When the system runs with the checkpointing subsystem, the
+    checkpoint-placement invariant is verified as well.
+    """
     for key in keys:
         assert_timestamps_dense(system, key)
         assert_log_prefix_complete(system, key)
         assert_replicas_converge(system, key)
+        if system.ltr_config.checkpoint_enabled:
+            assert_checkpoint_placements(system, key)
 
 
 # ------------------------------------------------------ randomized runs --
@@ -239,6 +284,172 @@ def test_next_timestamps_allocates_dense_ranges():
     assert authority.range_allocations == 2  # the two count>1 calls
     with pytest.raises(ValueError):
         authority.next_timestamps(key, 0)
+
+
+# ------------------------------------------------------- checkpointing --
+
+
+def test_randomized_checkpointed_runs_preserve_all_invariants():
+    """The paper invariants plus checkpoint placement, checkpointing on."""
+    for batched in (False, True):
+        overrides = {
+            "checkpoint_enabled": True,
+            "checkpoint_interval": 3,
+            "grouped_fetch": True,
+        }
+        if batched:
+            overrides.update({"batch_enabled": True, "batch_max_edits": 3})
+        system = build_system(peers=8, seed=77, **overrides)
+        keys = ["xwiki:ckpt-a", "xwiki:ckpt-b"]
+        writers = system.peer_names()[:3]
+        run_random_workload(
+            system, seed=77, keys=keys, writers=writers, steps=14, batched=batched
+        )
+        assert_system_invariants(system, keys)
+        assert any(
+            assert_checkpoint_placements(system, key) for key in keys
+        ), "no checkpoint was ever taken"
+
+
+def test_checkpoints_survive_responsible_peer_departure():
+    """Hand-off on churn keeps checkpoints reachable (placement invariant)."""
+    system = build_system(
+        peers=12, seed=29, checkpoint_enabled=True, checkpoint_interval=3,
+        checkpoint_retention=2, grouped_fetch=True,
+    )
+    key = "xwiki:ckpt-churn"
+    writer = system.peer_names()[0]
+    for index in range(8):
+        system.edit_and_commit(writer, key, f"revision {index}\nshared tail")
+    system.run_for(2.0)  # let checkpoint/log replicas settle
+    client = system.log_client()
+    index = system.sim.run(until=system.sim.process(client.fetch_checkpoint_index(key)))
+    assert index and index[0] == 6  # checkpoints at ts 3 and 6, newest first
+    newest = index[0]
+
+    # Depart every peer responsible for a placement of the newest
+    # checkpoint — graceful leaves and a crash, both churn paths.
+    victims = []
+    for _storage_key, identifier in client.checkpoint_placements(key, newest):
+        owner = system.ring.responsible_node_for_id(identifier).address.name
+        if owner != writer and owner not in victims:
+            victims.append(owner)
+    assert victims, "every placement resolved to the writer; adjust the seed"
+    for position, victim in enumerate(victims):
+        if victim not in system.peer_names():
+            continue  # already gone via an earlier victim's hand-off
+        if position % 2:
+            system.crash(victim)
+        else:
+            system.leave(victim)
+    system.run_for(3.0)
+
+    # The newest checkpoint survived via hand-off / replica promotion...
+    survivor = system.sim.run(
+        until=system.sim.process(
+            system.log_client().latest_checkpoint(key, system.last_ts(key))
+        )
+    )
+    assert survivor is not None and survivor.ts == newest
+    # ...a cold peer still fast-paths from it...
+    cold = next(name for name in system.peer_names() if name != writer)
+    result = system.sync(cold, key)
+    assert result.checkpoint_ts == newest
+    assert result.retrieved_patches == system.last_ts(key) - newest
+    # ...and all invariants (incl. checkpoint placement) hold after churn.
+    assert_system_invariants(system, [key])
+
+
+def test_sync_falls_back_to_full_replay_when_checkpoints_unreachable():
+    """No reachable checkpoint replica => the paper's full replay, silently."""
+    system = build_system(
+        peers=8, seed=31, checkpoint_enabled=True, checkpoint_interval=3,
+        grouped_fetch=True,
+    )
+    key = "xwiki:ckpt-fallback"
+    writer = system.peer_names()[0]
+    for index in range(7):
+        system.edit_and_commit(writer, key, f"revision {index}")
+    client = system.log_client()
+    index = system.sim.run(until=system.sim.process(client.fetch_checkpoint_index(key)))
+    assert index
+
+    # Stage 1: every checkpoint replica is gone but the index survives —
+    # the probe misses every listed timestamp and replays the full log.
+    for ts in index:
+        system.sim.run(until=system.sim.process(client.gc_checkpoint(key, ts)))
+    first_cold = system.peer_names()[2]
+    result = system.sync(first_cold, key)
+    assert result.checkpoint_ts is None
+    assert result.retrieved_patches == system.last_ts(key)
+    assert system.user(first_cold).document(key).applied_ts == system.last_ts(key)
+
+    # Stage 2: the index itself is unreachable too — same graceful fallback.
+    from repro.p2plog import make_checkpoint_index_key
+    index_key = make_checkpoint_index_key(key)
+    for function in client.checkpoint_family:
+        system.sim.run(
+            until=system.sim.process(
+                client.dht.remove(function.placement_key(index_key),
+                                  key_id=function(index_key))
+            )
+        )
+    second_cold = system.peer_names()[3]
+    result = system.sync(second_cold, key)
+    assert result.checkpoint_ts is None
+    assert result.retrieved_patches == system.last_ts(key)
+    assert_system_invariants(system, [key])  # index gone => invariant vacuous
+
+
+def test_checkpoint_index_survives_out_of_order_writes():
+    """Regression: a late write for an *older* ts must not drop newer entries.
+
+    The index update is a read-modify-write; if it filtered the stored
+    index against its own timestamp, a job that completes after a newer
+    checkpoint landed would erase that newer entry — leaving an unindexed
+    (hence never-collected) snapshot in the DHT and sending readers to an
+    older bootstrap point.
+    """
+    system = build_system(
+        peers=8, seed=41, checkpoint_enabled=True, checkpoint_interval=3,
+        checkpoint_retention=3, grouped_fetch=True,
+    )
+    key = "xwiki:ckpt-order"
+    writer = system.peer_names()[0]
+    for index in range(7):
+        system.edit_and_commit(writer, key, f"revision {index}")
+    service = system.master_service(key)
+    # Checkpoints exist at ts 3 and 6; now a straggler job writes ts 5
+    # (content rebuilt from checkpoint 3 + the log suffix).
+    system.sim.run(until=system.sim.process(service._write_checkpoint(key, 5, None)))
+    client = system.log_client()
+    stored = system.sim.run(until=system.sim.process(client.fetch_checkpoint_index(key)))
+    assert list(stored) == [6, 5, 3]
+    assert system.latest_checkpoint(key).ts == 6
+    assert_system_invariants(system, [key])  # ts-5 snapshot matches the replay
+
+
+def test_gc_checkpoints_trims_beyond_the_retention_window():
+    """The compaction story: old snapshots leave the DHT as new ones land."""
+    system = build_system(
+        peers=8, seed=37, checkpoint_enabled=True, checkpoint_interval=2,
+        checkpoint_retention=2, grouped_fetch=True,
+    )
+    key = "xwiki:ckpt-gc"
+    writer = system.peer_names()[0]
+    for index in range(9):
+        system.edit_and_commit(writer, key, f"revision {index}")
+    client = system.log_client()
+    index = system.sim.run(until=system.sim.process(client.fetch_checkpoint_index(key)))
+    assert list(index) == [8, 6]  # retention 2: ts 2 and 4 were collected
+    from repro.errors import CheckpointUnavailable
+    for collected in (2, 4):
+        with pytest.raises(CheckpointUnavailable):
+            system.sim.run(
+                until=system.sim.process(client.fetch_checkpoint(key, collected))
+            )
+    assert system.gc_checkpoints(key) == 0  # idempotent: window already applied
+    assert_system_invariants(system, [key])
 
 
 def test_validation_failure_restages_the_batch():

@@ -4,8 +4,14 @@ import pytest
 
 from repro.chord import ChordConfig, ChordRing, HashFunctionFamily
 from repro.dht import ChordDhtClient, LocalDht
-from repro.errors import PatchUnavailable
-from repro.p2plog import LogEntry, P2PLogClient, make_log_key
+from repro.errors import CheckpointUnavailable, PatchUnavailable
+from repro.p2plog import (
+    Checkpoint,
+    LogEntry,
+    P2PLogClient,
+    make_checkpoint_key,
+    make_log_key,
+)
 from repro.net import ConstantLatency
 from repro.sim import Simulator
 
@@ -189,6 +195,168 @@ def test_append_many_places_whole_batch_with_grouped_writes():
     assert stats["published_entries"] == 5
     assert stats["batched_publishes"] == 1
     assert run(ring, client.append_many([])) == []
+
+
+def test_fetch_span_groups_reads_and_matches_per_ts_fetch():
+    """The grouped range read returns exactly what the per-ts loop returns."""
+    ring = build_ring(node_count=10)
+    client = P2PLogClient(ChordDhtClient(ring.gateway()), HashFunctionFamily.create(3, bits=BITS))
+    entries = [make_entry(ts, key="wiki:span") for ts in range(1, 9)]
+    run(ring, client.append_many(entries))
+    ring.run_for(1.0)
+    spanned = run(ring, client.fetch_range("wiki:span", 1, 8, grouped=True))
+    assert spanned == entries
+    assert client.span_fetches == 1
+    looped = run(ring, client.fetch_range("wiki:span", 1, 8))
+    assert looped == spanned
+    assert run(ring, client.fetch_range("wiki:span", 5, 3, grouped=True)) == []
+
+
+def test_fetch_span_falls_back_per_timestamp_when_primary_is_gone():
+    """A ts the grouped read cannot serve is recovered via the fallback chain."""
+    ring = build_ring(node_count=10)
+    client = P2PLogClient(ChordDhtClient(ring.gateway()), HashFunctionFamily.create(3, bits=BITS))
+    entries = [make_entry(ts, key="wiki:spanfall") for ts in range(1, 5)]
+    run(ring, client.append_many(entries))
+    ring.run_for(1.0)
+    # Delete the primary (h1) placement of ts 2: the grouped read misses it,
+    # the per-ts fallback finds it through h2/h3.
+    primary = client.hash_family[0]
+    log_key = make_log_key("wiki:spanfall", 2)
+    run(ring, client.dht.remove(primary.placement_key(log_key), key_id=primary(log_key)))
+    spanned = run(ring, client.fetch_range("wiki:spanfall", 1, 4, grouped=True))
+    assert spanned == entries
+    assert client.fallback_reads >= 1
+
+
+def test_fetch_span_windows_grouped_reads_by_max_parallel():
+    """Regression: the grouped path must honour the fan-out bound too.
+
+    ``get_many`` resolves its items' placements concurrently, so handing
+    it a whole 500-entry range at once would put one in-flight routing per
+    timestamp on the wire — the same flood the windowed parallel mode
+    prevents.
+    """
+    sim = Simulator(seed=2)
+    dht = LocalDht(sim)
+    log = P2PLogClient(dht, HashFunctionFamily.create(2, bits=BITS), max_parallel=16)
+    for ts in range(1, 501):
+        entry = make_entry(ts)
+        dht._table[log.hash_family[0].placement_key(entry.log_key)] = entry
+
+    batch_sizes = []
+    plain_get_many = dht.get_many
+
+    def tracking_get_many(items):
+        items = list(items)
+        batch_sizes.append(len(items))
+        result = yield from plain_get_many(items)
+        return result
+
+    dht.get_many = tracking_get_many
+    entries = sim.run(until=sim.process(log.fetch_span("doc", 1, 500)))
+    assert [entry.ts for entry in entries] == list(range(1, 501))
+    assert batch_sizes and max(batch_sizes) <= 16
+
+
+def test_parallel_fetch_range_bounds_in_flight_requests():
+    """Regression: a 500-entry range must not exceed max_parallel fetches.
+
+    The parallel retrieval mode used to spawn one process per timestamp
+    with no bound, flooding the network with one simultaneous routed
+    lookup per missing entry on long catch-ups.
+    """
+    sim = Simulator(seed=1)
+    dht = LocalDht(sim, operation_delay=0.002)
+    log = P2PLogClient(dht, HashFunctionFamily.create(2, bits=BITS), max_parallel=16)
+    for ts in range(1, 501):
+        entry = make_entry(ts)
+        dht._table[log.hash_family[0].placement_key(entry.log_key)] = entry
+
+    in_flight = 0
+    peak = 0
+    plain_fetch = log.fetch
+
+    def tracked_fetch(document_key, ts):
+        nonlocal in_flight, peak
+        in_flight += 1
+        peak = max(peak, in_flight)
+        try:
+            entry = yield from plain_fetch(document_key, ts)
+        finally:
+            in_flight -= 1
+        return entry
+
+    log.fetch = tracked_fetch
+    entries = sim.run(until=sim.process(log.fetch_range("doc", 1, 500, parallel=True)))
+    assert [entry.ts for entry in entries] == list(range(1, 501))
+    assert peak <= 16, f"{peak} fetches were in flight at once"
+    with pytest.raises(ValueError):
+        P2PLogClient(LocalDht(sim), HashFunctionFamily.create(2, bits=BITS), max_parallel=0)
+
+
+# ---------------------------------------------------------------------------
+# checkpoints
+# ---------------------------------------------------------------------------
+
+
+def make_checkpoint(ts, key="doc", lines=("alpha", "beta")):
+    return Checkpoint(document_key=key, ts=ts, lines=tuple(lines))
+
+
+def test_checkpoint_validation_and_key():
+    checkpoint = make_checkpoint(4)
+    assert checkpoint.checkpoint_key == "doc!ckpt#4"
+    assert "snapshot" in checkpoint.describe()
+    with pytest.raises(ValueError):
+        make_checkpoint(0)
+    with pytest.raises(ValueError):
+        make_checkpoint_key("doc", 0)
+
+
+def test_checkpoint_placements_use_the_salted_checkpoint_family():
+    """Checkpoints land at |Hr| distinct peers, independent of the patch family."""
+    ring = build_ring(node_count=10)
+    client = P2PLogClient(ChordDhtClient(ring.gateway()), HashFunctionFamily.create(3, bits=BITS))
+    checkpoint = make_checkpoint(4, key="wiki:ckpt")
+    stored = run(ring, client.publish_checkpoint(checkpoint))
+    assert stored == 3
+    placements = client.checkpoint_placements("wiki:ckpt", 4)
+    assert len({identifier for _key, identifier in placements}) == 3
+    assert all(key.startswith("hc") for key, _identifier in placements)
+    patch_ids = {identifier for _key, identifier in client.placements("wiki:ckpt", 4)}
+    assert patch_ids != {identifier for _key, identifier in placements}
+    for storage_key, identifier in placements:
+        owner = ring.responsible_node_for_id(identifier)
+        assert owner.storage.value(storage_key) == checkpoint
+
+
+def test_latest_checkpoint_walks_the_index_and_respects_max_ts():
+    ring = build_ring()
+    client = P2PLogClient(ChordDhtClient(ring.gateway()), HashFunctionFamily.create(2, bits=BITS))
+    for ts in (4, 8):
+        run(ring, client.publish_checkpoint(make_checkpoint(ts, key="wiki:latest")))
+    run(ring, client.publish_checkpoint_index("wiki:latest", (8, 4)))
+    newest = run(ring, client.latest_checkpoint("wiki:latest", 20))
+    assert newest.ts == 8
+    older = run(ring, client.latest_checkpoint("wiki:latest", 7))
+    assert older.ts == 4
+    assert run(ring, client.latest_checkpoint("wiki:latest", 3)) is None
+    assert run(ring, client.latest_checkpoint("wiki:none", 20)) is None
+
+
+def test_latest_checkpoint_skips_unreachable_listed_checkpoints():
+    """An indexed checkpoint whose placements are all gone is skipped."""
+    ring = build_ring()
+    client = P2PLogClient(ChordDhtClient(ring.gateway()), HashFunctionFamily.create(2, bits=BITS))
+    for ts in (4, 8):
+        run(ring, client.publish_checkpoint(make_checkpoint(ts, key="wiki:skip")))
+    run(ring, client.publish_checkpoint_index("wiki:skip", (8, 4)))
+    assert run(ring, client.gc_checkpoint("wiki:skip", 8)) == 2
+    fallback = run(ring, client.latest_checkpoint("wiki:skip", 20))
+    assert fallback.ts == 4
+    with pytest.raises(CheckpointUnavailable):
+        run(ring, client.fetch_checkpoint("wiki:skip", 8))
 
 
 def test_retract_many_removes_only_matching_entries():
