@@ -1,0 +1,55 @@
+"""Benchmark E13 — wall-clock commit throughput on the asyncio runtime.
+
+The execution-runtime abstraction lets the unchanged protocol stack run on
+a real asyncio event loop (wall-clock timers, OS-decided interleavings).
+This benchmark runs the acceptance-scale live workload — a 16-peer ring,
+4 concurrent editors, 200 committed edits on one hot document — and
+snapshots wall-clock commits/sec, the first real-time throughput number of
+the reproduction (``BENCH_E13.json`` via ``benchmarks/run_all.py --only
+E13``).  Unlike the E1–E12 snapshots the rows are machine-dependent; the
+hard assertions are the protocol invariants and a loose sanity floor on
+throughput, not an exact profile.
+
+Run with ``pytest benchmarks/bench_runtime_throughput.py --benchmark-only -s``.
+"""
+
+from repro.experiments import run_experiment
+
+PEERS = 16
+EDITORS = 4
+EDITS = 200
+
+
+def test_benchmark_runtime_throughput(benchmark):
+    """E13: live-mode commits preserve every invariant at acceptance scale."""
+    run = benchmark.pedantic(
+        lambda: run_experiment(
+            "E13",
+            quick=True,
+            overrides={
+                "editor_counts": (EDITORS,),
+                "peers": PEERS,
+                "edits": EDITS,
+            },
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = run.table
+    print()
+    print(table.render())
+
+    (row,) = run.result.rows
+    assert row["peers"] == PEERS and row["editors"] == EDITORS
+    # The acceptance bar: >= 200 edits committed by >= 4 concurrent
+    # editors on a >= 16-peer live ring, with all three invariants intact.
+    assert row["edits_committed"] >= EDITS
+    assert row["last_ts"] == row["edits_committed"]
+    assert row["dense_timestamps"] is True
+    assert row["log_continuous"] is True
+    assert row["converged"] is True
+    # Loose wall-clock sanity floor (machine-dependent; catches pathological
+    # regressions like a retry loop burning its delay budget per commit).
+    assert row["commits_per_s"] >= 5.0, (
+        f"live throughput collapsed: {row['commits_per_s']} commits/s"
+    )

@@ -5,6 +5,9 @@ demonstration.  The package implements the full system described in the
 report and every substrate it depends on:
 
 * :mod:`repro.sim` — deterministic discrete-event simulation kernel.
+* :mod:`repro.runtime` — the execution-runtime abstraction the whole stack
+  runs on: the deterministic ``SimRuntime`` (default) and the wall-clock
+  ``AsyncioRuntime`` live backend.
 * :mod:`repro.net` — simulated network (latency, loss, partitions, RPC).
 * :mod:`repro.chord` — a from-scratch Chord DHT (the Open Chord substitute).
 * :mod:`repro.dht` — uniform DHT client facade.

@@ -22,13 +22,13 @@ from ..errors import (
 )
 from ..net import Address, Network, RpcAgent
 from ..ot import Document, Patch, integrate_remote_patches, make_patch
-from ..sim import FifoLock, Simulator
+from ..runtime import FifoLock, Runtime, SimRuntime
 
 
 class CentralReconciler:
     """The single reconciler node: orders, stores and serves all patches."""
 
-    def __init__(self, sim: Simulator, network: Network,
+    def __init__(self, sim: Runtime, network: Network,
                  name: str = "central-reconciler", *, service_delay: float = 0.0) -> None:
         self.sim = sim
         self.network = network
@@ -104,7 +104,7 @@ class CentralReconciler:
 class CentralClient:
     """A collaborating peer using the centralized reconciler."""
 
-    def __init__(self, sim: Simulator, network: Network, name: str,
+    def __init__(self, sim: Runtime, network: Network, name: str,
                  reconciler: CentralReconciler, *,
                  max_attempts: int = 64, rpc_timeout: Optional[float] = None) -> None:
         self.sim = sim
@@ -212,10 +212,10 @@ class CentralClient:
 class CentralSystem:
     """Driver mirroring :class:`~repro.core.LtrSystem` for the baseline."""
 
-    def __init__(self, *, peer_count: int, sim: Optional[Simulator] = None,
+    def __init__(self, *, peer_count: int, sim: Optional[Runtime] = None,
                  network: Optional[Network] = None, seed: int = 0,
                  latency=None, service_delay: float = 0.0) -> None:
-        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.sim = sim if sim is not None else SimRuntime(seed=seed)
         self.network = network if network is not None else Network(self.sim, latency=latency)
         self.reconciler = CentralReconciler(self.sim, self.network, service_delay=service_delay)
         self.clients = {

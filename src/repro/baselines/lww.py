@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..net import Address, Network, RpcAgent
-from ..sim import Simulator
+from ..runtime import Runtime, SimRuntime
 
 
 @dataclass(frozen=True, order=True)
@@ -52,7 +52,7 @@ class LwwRegister:
 class LwwPeer:
     """A replica using last-writer-wins reconciliation with broadcast dissemination."""
 
-    def __init__(self, sim: Simulator, network: Network, name: str) -> None:
+    def __init__(self, sim: Runtime, network: Network, name: str) -> None:
         self.sim = sim
         self.network = network
         self.name = name
@@ -102,15 +102,15 @@ class LwwPeer:
 class LwwSystem:
     """A set of LWW replicas connected by the simulated network."""
 
-    sim: Simulator
+    sim: Runtime
     network: Network
     peers: dict[str, LwwPeer] = field(default_factory=dict)
 
     @classmethod
-    def build(cls, *, peer_count: int, sim: Optional[Simulator] = None,
+    def build(cls, *, peer_count: int, sim: Optional[Runtime] = None,
               network: Optional[Network] = None, seed: int = 0, latency=None) -> "LwwSystem":
         """Create ``peer_count`` fully meshed LWW replicas."""
-        simulator = sim if sim is not None else Simulator(seed=seed)
+        simulator = sim if sim is not None else SimRuntime(seed=seed)
         net = network if network is not None else Network(simulator, latency=latency)
         system = cls(sim=simulator, network=net)
         for index in range(peer_count):

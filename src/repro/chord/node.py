@@ -23,7 +23,7 @@ from ..errors import (
     RequestTimeout,
 )
 from ..net import Address, Network, RpcAgent
-from ..sim import Simulator
+from ..runtime import Runtime
 from .config import ChordConfig
 from .finger import FingerTable
 from .hashing import hash_to_id
@@ -42,8 +42,8 @@ class ChordNode:
 
     Parameters
     ----------
-    sim, network:
-        The shared simulator and network of the experiment.
+    runtime, network:
+        The shared execution runtime and network of the experiment.
     address:
         This peer's network identity; the ring identifier is the SHA-1 hash
         of the address name truncated to ``config.bits``.
@@ -56,20 +56,20 @@ class ChordNode:
 
     def __init__(
         self,
-        sim: Simulator,
+        runtime: Runtime,
         network: Network,
         address: Address,
         config: Optional[ChordConfig] = None,
         services: Optional[Iterable[NodeService]] = None,
     ) -> None:
-        self.sim = sim
+        self.runtime = runtime
         self.network = network
         self.config = config if config is not None else ChordConfig()
         self.address = address
         self.node_id = hash_to_id(address.name, self.config.bits)
         self.ref = NodeRef(self.node_id, address)
 
-        self.rpc = RpcAgent(sim, network, address)
+        self.rpc = RpcAgent(runtime, network, address)
         self.storage = NodeStorage(self.config.bits)
         self.fingers = FingerTable(self.node_id, self.config.bits)
         self.successors = SuccessorList(self.node_id, self.config.successor_list_size)
@@ -94,6 +94,11 @@ class ChordNode:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ChordNode {self.address.name} id={self.node_id} alive={self.alive}>"
+
+    @property
+    def sim(self) -> Runtime:
+        """Backward-compatible alias for :attr:`runtime`."""
+        return self.runtime
 
     @property
     def successor(self) -> Optional[NodeRef]:
@@ -342,7 +347,7 @@ class ChordNode:
         """
         if self.route_cache is None:
             return None
-        cached = self.route_cache.lookup(target_id, self.sim.now)
+        cached = self.route_cache.lookup(target_id, self.runtime.now)
         if cached is None:
             return None
         interval, owner = cached
@@ -364,7 +369,7 @@ class ChordNode:
         interval = answer.get("interval")
         if interval is None:
             return
-        self.route_cache.store(tuple(interval), answer["node"], self.sim.now)
+        self.route_cache.store(tuple(interval), answer["node"], self.runtime.now)
 
     def _first_live_successor_candidate(self, excluded: set[NodeRef]) -> Optional[NodeRef]:
         for entry in self.successors.entries():
@@ -425,7 +430,7 @@ class ChordNode:
                   is_replica: bool = False) -> bool:
         """Store an item locally and push replicas to the successors."""
         item = self.storage.put(
-            key, value, is_replica=is_replica, now=self.sim.now, key_id=key_id
+            key, value, is_replica=is_replica, now=self.runtime.now, key_id=key_id
         )
         if not is_replica:
             self._push_replicas([item])
@@ -445,7 +450,7 @@ class ChordNode:
                 entry["key"],
                 entry["value"],
                 is_replica=is_replica,
-                now=self.sim.now,
+                now=self.runtime.now,
                 key_id=entry.get("key_id"),
             )
             for entry in items
@@ -508,7 +513,7 @@ class ChordNode:
             # predecessor pointer is stale (e.g. it crashed silently).
             moving = self.storage.extract_interval(self.node_id, requester.node_id)
         if moving and self.config.replication_factor > 1:
-            self.storage.absorb(moving, as_replica=True, now=self.sim.now)
+            self.storage.absorb(moving, as_replica=True, now=self.runtime.now)
         if moving:
             for service in self.services:
                 service.on_items_handed_off(moving, requester.name)
@@ -525,29 +530,29 @@ class ChordNode:
     # ----------------------------------------------------------- maintenance --
 
     def _start_maintenance(self) -> None:
-        self.sim.process(self._stabilize_loop(), name=f"{self.address.name}.stabilize")
-        self.sim.process(self._fix_fingers_loop(), name=f"{self.address.name}.fix_fingers")
-        self.sim.process(
+        self.runtime.process(self._stabilize_loop(), name=f"{self.address.name}.stabilize")
+        self.runtime.process(self._fix_fingers_loop(), name=f"{self.address.name}.fix_fingers")
+        self.runtime.process(
             self._check_predecessor_loop(), name=f"{self.address.name}.check_pred"
         )
 
     def _stabilize_loop(self):
         while self.alive:
-            yield self.sim.timeout(self.config.stabilize_interval)
+            yield self.runtime.timeout(self.config.stabilize_interval)
             if not self.alive:
                 break
             yield from self._stabilize_once()
 
     def _fix_fingers_loop(self):
         while self.alive:
-            yield self.sim.timeout(self.config.fix_fingers_interval)
+            yield self.runtime.timeout(self.config.fix_fingers_interval)
             if not self.alive:
                 break
             yield from self._fix_one_finger()
 
     def _check_predecessor_loop(self):
         while self.alive:
-            yield self.sim.timeout(self.config.check_predecessor_interval)
+            yield self.runtime.timeout(self.config.check_predecessor_interval)
             if not self.alive:
                 break
             yield from self._check_predecessor_once()
@@ -686,7 +691,7 @@ class ChordNode:
             )
 
     def _absorb_items(self, items: list[StoredItem], *, as_replica: bool) -> int:
-        absorbed = self.storage.absorb(items, as_replica=as_replica, now=self.sim.now)
+        absorbed = self.storage.absorb(items, as_replica=as_replica, now=self.runtime.now)
         if not as_replica:
             # We just became the owner of these items (join hand-off or a
             # departing predecessor's hand-over): immediately restore their

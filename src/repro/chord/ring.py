@@ -14,7 +14,7 @@ from typing import Any, Callable, Iterable, Optional
 
 from ..errors import DhtError, LookupFailed
 from ..net import Address, ConstantLatency, LatencyModel, Network
-from ..sim import Simulator
+from ..runtime import Runtime, resolve_runtime
 from .config import ChordConfig
 from .hashing import hash_to_id
 from .node import ChordNode
@@ -29,24 +29,33 @@ class ChordRing:
 
     def __init__(
         self,
-        sim: Optional[Simulator] = None,
+        runtime: Optional[Runtime | str] = None,
         network: Optional[Network] = None,
         config: Optional[ChordConfig] = None,
         *,
         seed: int = 0,
         latency: Optional[LatencyModel] = None,
         service_factory: Optional[ServiceFactory] = None,
+        sim: Optional[Runtime] = None,
     ) -> None:
-        self.sim = sim if sim is not None else Simulator(seed=seed)
+        # ``sim`` is the backward-compatible alias for ``runtime``; the
+        # runtime knob also accepts a backend name ("sim" / "asyncio").
+        self.runtime = resolve_runtime(runtime if runtime is not None else sim, seed=seed)
         if network is not None:
             self.network = network
         else:
             self.network = Network(
-                self.sim, latency=latency if latency is not None else ConstantLatency(0.005)
+                self.runtime,
+                latency=latency if latency is not None else ConstantLatency(0.005),
             )
         self.config = config if config is not None else ChordConfig()
         self.service_factory = service_factory
         self.nodes: dict[str, ChordNode] = {}
+
+    @property
+    def sim(self) -> Runtime:
+        """Backward-compatible alias for :attr:`runtime`."""
+        return self.runtime
 
     # ------------------------------------------------------------- creation --
 
@@ -56,7 +65,7 @@ class ChordRing:
             raise DhtError(f"a node named {name!r} already exists")
         address = Address(name, site)
         services = self.service_factory(address) if self.service_factory else []
-        node = ChordNode(self.sim, self.network, address, self.config, services=services)
+        node = ChordNode(self.runtime, self.network, address, self.config, services=services)
         self.nodes[name] = node
         return node
 
@@ -78,7 +87,7 @@ class ChordRing:
         bootstrap_address = first.address
         for name in names[1:]:
             node = self.create_node(name)
-            self.sim.run(until=self.sim.process(node.join(bootstrap_address)))
+            self.runtime.run(until=self.runtime.process(node.join(bootstrap_address)))
         self.clear_route_caches()  # routes learned mid-bootstrap are stale
         self.wait_until_stable(max_time=stabilize_time)
         return [self.nodes[name] for name in names]
@@ -92,7 +101,7 @@ class ChordRing:
             return node
         gateway = self.nodes[via] if via is not None else live[0]
         node = self.create_node(name)
-        self.sim.run(until=self.sim.process(node.join(gateway.address)))
+        self.runtime.run(until=self.runtime.process(node.join(gateway.address)))
         self.clear_route_caches()
         if stabilize:
             self.wait_until_stable()
@@ -103,7 +112,7 @@ class ChordRing:
     def leave(self, name: str, *, stabilize: bool = True) -> None:
         """Gracefully remove ``name`` from the ring."""
         node = self._existing(name)
-        self.sim.run(until=self.sim.process(node.leave()))
+        self.runtime.run(until=self.runtime.process(node.leave()))
         self.clear_route_caches()
         if stabilize:
             self.wait_until_stable()
@@ -176,17 +185,17 @@ class ChordRing:
     def put(self, key: str, value: Any, *, via: Optional[str] = None) -> dict[str, Any]:
         """Store ``value`` under ``key`` through a gateway node (synchronous)."""
         gateway = self.nodes[via] if via is not None else self.gateway()
-        return self.sim.run(until=self.sim.process(gateway.put(key, value)))
+        return self.runtime.run(until=self.runtime.process(gateway.put(key, value)))
 
     def get(self, key: str, *, via: Optional[str] = None) -> dict[str, Any]:
         """Fetch ``key`` through a gateway node (synchronous)."""
         gateway = self.nodes[via] if via is not None else self.gateway()
-        return self.sim.run(until=self.sim.process(gateway.get(key)))
+        return self.runtime.run(until=self.runtime.process(gateway.get(key)))
 
     def lookup(self, key: str, *, via: Optional[str] = None) -> dict[str, Any]:
         """Resolve the node responsible for ``key`` through routed lookups."""
         gateway = self.nodes[via] if via is not None else self.gateway()
-        return self.sim.run(until=self.sim.process(gateway.lookup(key)))
+        return self.runtime.run(until=self.runtime.process(gateway.lookup(key)))
 
     # ------------------------------------------------------------- stability --
 
@@ -227,16 +236,16 @@ class ChordRing:
             if max_time is not None
             else max(30.0, 8.0 * self.config.stabilize_interval * max(len(self.nodes), 4))
         )
-        deadline = self.sim.now + budget
+        deadline = self.runtime.now + budget
         while not self.is_stable():
-            if self.sim.now >= deadline:
+            if self.runtime.now >= deadline:
                 return False
-            self.sim.run(until=min(self.sim.now + interval, deadline))
+            self.runtime.run(until=min(self.runtime.now + interval, deadline))
         return True
 
     def run_for(self, duration: float) -> None:
         """Advance the simulation by ``duration`` simulated seconds."""
-        self.sim.run(until=self.sim.now + duration)
+        self.runtime.run(until=self.runtime.now + duration)
 
     # ------------------------------------------------------------ diagnostics --
 

@@ -77,6 +77,12 @@ class LtrConfig:
         Upper bound on in-flight fetches of a ``parallel_retrieval`` range
         (the range is worked through in windows of this size), so a very
         long catch-up cannot flood the network.
+    runtime_backend:
+        Which execution runtime a :class:`~repro.core.LtrSystem` built from
+        this config runs on when no explicit runtime is supplied:
+        ``"sim"`` (the default — deterministic virtual clock, byte-identical
+        seeded experiments) or ``"asyncio"`` (wall-clock timers, real
+        in-process concurrency; see ``DESIGN.md`` §"Execution runtimes").
     """
 
     log_replication_factor: int = 3
@@ -93,8 +99,14 @@ class LtrConfig:
     checkpoint_retention: int = 2
     grouped_fetch: bool = False
     max_parallel_fetches: int = 16
+    runtime_backend: str = "sim"
 
     def __post_init__(self) -> None:
+        if self.runtime_backend not in ("sim", "asyncio"):
+            raise ConfigurationError(
+                f"runtime_backend must be 'sim' or 'asyncio', "
+                f"got {self.runtime_backend!r}"
+            )
         if self.log_replication_factor < 1:
             raise ConfigurationError(
                 f"log_replication_factor must be >= 1, got {self.log_replication_factor}"

@@ -28,7 +28,7 @@ from ..errors import CheckpointUnavailable, PatchUnavailable
 from ..kts import TimestampAuthority
 from ..ot import Document
 from ..p2plog import Checkpoint, LogEntry, P2PLogClient
-from ..sim import FifoLock
+from ..runtime import FifoLock
 from .config import LtrConfig
 from .protocol import BatchValidationResult, ValidationResult
 
@@ -107,7 +107,7 @@ class MasterService(NodeService):
     def _lock_for(self, key: str) -> FifoLock:
         lock = self._locks.get(key)
         if lock is None:
-            lock = FifoLock(self.node.sim)
+            lock = FifoLock(self.node.runtime)
             self._locks[key] = lock
         return lock
 
@@ -151,8 +151,8 @@ class MasterService(NodeService):
         last_ts = authority.last_ts(key)
         if ts != last_ts + 1:
             self.validations_behind += 1
-            node.sim.trace.annotate(
-                node.sim.now,
+            node.runtime.trace.annotate(
+                node.runtime.now,
                 "ltr-master",
                 f"{node.address.name} rejects {key}@{ts} from {author} "
                 f"(last-ts={last_ts})",
@@ -164,7 +164,7 @@ class MasterService(NodeService):
             ts=ts,
             patch=patch,
             author=author,
-            published_at=node.sim.now,
+            published_at=node.runtime.now,
             base_ts=base_ts,
         )
         replicas = 0
@@ -174,8 +174,8 @@ class MasterService(NodeService):
             # Re-election while the publish was in flight: advancing the
             # (handed-off) counter would fork the timestamp sequence.
             self.validations_rejected += 1
-            node.sim.trace.annotate(
-                node.sim.now,
+            node.runtime.trace.annotate(
+                node.runtime.now,
                 "ltr-master",
                 f"{node.address.name} rejects in-flight patch for {key}: "
                 f"master role moved during publication",
@@ -189,8 +189,8 @@ class MasterService(NodeService):
         self._note_published(key, [patch], validated_ts, checkpoints)
         self.validations_ok += 1
         self.patches_published += 1
-        node.sim.trace.annotate(
-            node.sim.now,
+        node.runtime.trace.annotate(
+            node.runtime.now,
             "ltr-master",
             f"{node.address.name} validated {key}@{validated_ts} from {author} "
             f"({replicas} log replicas)",
@@ -262,8 +262,8 @@ class MasterService(NodeService):
         last_ts = authority.last_ts(key)
         if ts != last_ts + 1:
             self.batches_behind += 1
-            node.sim.trace.annotate(
-                node.sim.now,
+            node.runtime.trace.annotate(
+                node.runtime.now,
                 "ltr-master",
                 f"{node.address.name} rejects batch {key}@{ts}(+{len(patches)}) "
                 f"from {author} (last-ts={last_ts})",
@@ -276,7 +276,7 @@ class MasterService(NodeService):
                 ts=ts + offset,
                 patch=patch,
                 author=author,
-                published_at=node.sim.now,
+                published_at=node.runtime.now,
                 # The chain: patch `offset` is expressed against the
                 # state produced by its predecessor, i.e. `offset`
                 # timestamps past the batch's base.
@@ -301,8 +301,8 @@ class MasterService(NodeService):
         # either ordering mode).
         if self._lost_master_role(key, last_ts):
             self.batches_rejected += 1
-            node.sim.trace.annotate(
-                node.sim.now,
+            node.runtime.trace.annotate(
+                node.runtime.now,
                 "ltr-master",
                 f"{node.address.name} rejects in-flight batch for {key}: "
                 f"master role moved during publication",
@@ -327,8 +327,8 @@ class MasterService(NodeService):
         self._note_published(key, patches, first_ts, checkpoints)
         self.batches_ok += 1
         self.batch_edits_published += len(patches)
-        node.sim.trace.annotate(
-            node.sim.now,
+        node.runtime.trace.annotate(
+            node.runtime.now,
             "ltr-master",
             f"{node.address.name} validated batch {key}@{first_ts}.."
             f"{first_ts + len(patches) - 1} from {author} "
@@ -421,7 +421,7 @@ class MasterService(NodeService):
         """
         lock = self._checkpoint_locks.get(key)
         if lock is None:
-            lock = FifoLock(self.node.sim)
+            lock = FifoLock(self.node.runtime)
             self._checkpoint_locks[key] = lock
         return lock
 
@@ -462,7 +462,7 @@ class MasterService(NodeService):
             document_key=key,
             ts=ts,
             lines=tuple(lines),
-            created_at=node.sim.now,
+            created_at=node.runtime.now,
             author=node.address.name,
         )
         try:
@@ -482,8 +482,8 @@ class MasterService(NodeService):
         for old_ts in drop:
             removed = yield from self.log.gc_checkpoint(key, old_ts)
             self.checkpoint_placements_removed += removed
-        node.sim.trace.annotate(
-            node.sim.now,
+        node.runtime.trace.annotate(
+            node.runtime.now,
             "ltr-master",
             f"{node.address.name} checkpointed {key}@{ts} "
             f"(retained {list(keep)}, collected {list(drop)})",

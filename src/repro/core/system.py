@@ -18,7 +18,7 @@ from ..errors import DhtError
 from ..kts import TimestampAuthority
 from ..net import Address, ConstantLatency, LatencyModel, Network
 from ..p2plog import P2PLogClient
-from ..sim import Simulator
+from ..runtime import Runtime, backend_name, resolve_runtime
 from .config import LtrConfig
 from .consistency import ConsistencyReport, build_report, verify_log_continuity
 from .master import MasterService
@@ -46,27 +46,50 @@ class LtrSystem:
         chord_config: Optional[ChordConfig] = None,
         seed: int = 0,
         latency: Optional[LatencyModel] = None,
-        sim: Optional[Simulator] = None,
+        runtime: Optional[Runtime | str] = None,
+        sim: Optional[Runtime] = None,
         network: Optional[Network] = None,
         trace: bool = False,
     ) -> None:
         self.ltr_config = ltr_config if ltr_config is not None else LtrConfig()
         self.chord_config = chord_config if chord_config is not None else DEFAULT_CHORD_CONFIG
-        self.sim = sim if sim is not None else Simulator(seed=seed, trace=trace)
+        # Runtime selection: an explicit instance or backend name wins
+        # (``sim`` is the backward-compatible alias), otherwise the config's
+        # ``runtime_backend`` picks the backend.
+        selected = runtime if runtime is not None else sim
+        if selected is None:
+            selected = self.ltr_config.runtime_backend
+        self.runtime = resolve_runtime(selected, seed=seed, trace=trace)
         self.network = network if network is not None else Network(
-            self.sim, latency=latency if latency is not None else ConstantLatency(0.005)
+            self.runtime, latency=latency if latency is not None else ConstantLatency(0.005)
         )
         self.hash_family = HashFunctionFamily.create(
             self.ltr_config.log_replication_factor, bits=self.chord_config.bits
         )
         self.ht = timestamp_hash(self.chord_config.bits)
         self.ring = ChordRing(
-            sim=self.sim,
+            runtime=self.runtime,
             network=self.network,
             config=self.chord_config,
             service_factory=self._make_services,
         )
         self._users: dict[str, UserPeer] = {}
+
+    @property
+    def sim(self) -> Runtime:
+        """Backward-compatible alias for :attr:`runtime`."""
+        return self.runtime
+
+    @property
+    def runtime_backend(self) -> str:
+        """Name of the execution backend this system runs on."""
+        return backend_name(self.runtime)
+
+    def shutdown(self) -> None:
+        """Release backend resources (closes an asyncio runtime's loop)."""
+        close = getattr(self.runtime, "close", None)
+        if callable(close):
+            close()
 
     def _make_services(self, address: Address):
         return [
@@ -76,9 +99,15 @@ class LtrSystem:
 
     # -------------------------------------------------------------- membership --
 
-    def bootstrap(self, peers: Iterable[str] | int) -> list[str]:
-        """Create the DHT ring with the given peers (names or a count)."""
-        nodes = self.ring.bootstrap(peers)
+    def bootstrap(self, peers: Iterable[str] | int,
+                  *, stabilize_time: Optional[float] = None) -> list[str]:
+        """Create the DHT ring with the given peers (names or a count).
+
+        ``stabilize_time`` bounds the post-join stabilization budget (the
+        asyncio backend pays it in wall-clock seconds, so live deployments
+        pass a tight bound).
+        """
+        nodes = self.ring.bootstrap(peers, stabilize_time=stabilize_time)
         return [node.address.name for node in nodes]
 
     def peer_names(self) -> list[str]:
@@ -130,7 +159,7 @@ class LtrSystem:
 
     def commit(self, peer: str, key: str) -> Optional[CommitResult]:
         """Run the validation/publication procedure for ``peer``'s pending patch."""
-        return self.sim.run(until=self.sim.process(self.user(peer).commit(key)))
+        return self.runtime.run(until=self.runtime.process(self.user(peer).commit(key)))
 
     def edit_and_commit(self, peer: str, key: str, text: str,
                         *, comment: str = "") -> Optional[CommitResult]:
@@ -154,7 +183,7 @@ class LtrSystem:
 
     def flush(self, peer: str, key: str) -> Optional[BatchCommitResult]:
         """Flush ``peer``'s staged batch of ``key`` through one batched commit."""
-        return self.sim.run(until=self.sim.process(self.user(peer).flush(key)))
+        return self.runtime.run(until=self.runtime.process(self.user(peer).flush(key)))
 
     def flush_due(self, peer: Optional[str] = None) -> list[BatchCommitResult]:
         """Flush every batch past its deadline (for one peer or all users)."""
@@ -162,7 +191,7 @@ class LtrSystem:
         results = []
         for user in users:
             for key in [key for key, batch in user.batches.items()
-                        if batch.due(self.sim.now)]:
+                        if batch.due(self.runtime.now)]:
                 outcome = self.flush(user.author, key)
                 if outcome is not None:
                     results.append(outcome)
@@ -177,19 +206,19 @@ class LtrSystem:
         of :meth:`run_concurrent_commits`.
         """
         processes = [
-            self.sim.process(self.user(peer).flush(key), name=f"flush:{peer}:{key}")
+            self.runtime.process(self.user(peer).flush(key), name=f"flush:{peer}:{key}")
             for peer, key in flushes
         ]
         results: list[BatchCommitResult] = []
         for process in processes:
-            outcome = self.sim.run(until=process)
+            outcome = self.runtime.run(until=process)
             if outcome is not None:
                 results.append(outcome)
         return results
 
     def sync(self, peer: str, key: str):
         """Bring ``peer``'s replica of ``key`` up to date."""
-        return self.sim.run(until=self.sim.process(self.user(peer).sync(key)))
+        return self.runtime.run(until=self.runtime.process(self.user(peer).sync(key)))
 
     def sync_all(self, key: str, peers: Optional[Iterable[str]] = None) -> None:
         """Synchronise every given peer (default: all instantiated users)."""
@@ -212,12 +241,12 @@ class LtrSystem:
             self.edit(peer, key, text)
             staged.append((peer, key))
         processes = [
-            self.sim.process(self.user(peer).commit(key), name=f"commit:{peer}:{key}")
+            self.runtime.process(self.user(peer).commit(key), name=f"commit:{peer}:{key}")
             for peer, key in staged
         ]
         results: list[CommitResult] = []
         for process in processes:
-            outcome = self.sim.run(until=process)
+            outcome = self.runtime.run(until=process)
             if outcome is not None:
                 results.append(outcome)
         return results
@@ -251,7 +280,7 @@ class LtrSystem:
     def fetch_log(self, key: str, from_ts: int, to_ts: int):
         """Retrieve log entries ``from_ts .. to_ts`` (synchronous driver)."""
         client = self.log_client()
-        return self.sim.run(until=self.sim.process(client.fetch_range(key, from_ts, to_ts)))
+        return self.runtime.run(until=self.runtime.process(client.fetch_range(key, from_ts, to_ts)))
 
     # ------------------------------------------------------------- checkpoints --
 
@@ -264,18 +293,18 @@ class LtrSystem:
         yet or the write could not complete.
         """
         service = self.master_service(key)
-        return self.sim.run(until=self.sim.process(service.force_checkpoint(key)))
+        return self.runtime.run(until=self.runtime.process(service.force_checkpoint(key)))
 
     def gc_checkpoints(self, key: str) -> int:
         """Re-apply the checkpoint retention window for ``key`` (driver)."""
         service = self.master_service(key)
-        return self.sim.run(until=self.sim.process(service.gc_checkpoints(key)))
+        return self.runtime.run(until=self.runtime.process(service.gc_checkpoints(key)))
 
     def latest_checkpoint(self, key: str):
         """The newest reachable checkpoint of ``key`` (driver; may be ``None``)."""
         client = self.log_client()
-        return self.sim.run(
-            until=self.sim.process(client.latest_checkpoint(key, self.last_ts(key)))
+        return self.runtime.run(
+            until=self.runtime.process(client.latest_checkpoint(key, self.last_ts(key)))
         )
 
     # -------------------------------------------------------------- consistency --
@@ -291,8 +320,8 @@ class LtrSystem:
             self.sync_all(key)
         last_ts = self.last_ts(key)
         client = self.log_client()
-        entries = self.sim.run(
-            until=self.sim.process(verify_log_continuity(client, key, last_ts))
+        entries = self.runtime.run(
+            until=self.runtime.process(verify_log_continuity(client, key, last_ts))
         )
         replicas = [
             user.document(key)

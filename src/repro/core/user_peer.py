@@ -191,7 +191,7 @@ class UserPeer:
                 f"a flush of {key!r} is in flight; stage again once it "
                 f"completes (edits staged now could be lost or mis-based)"
             )
-        now = self.node.sim.now
+        now = self.node.runtime.now
         replica = self.document(key)
         batch = self.batches.get(key)
         before = (batch.tip_lines(replica.lines) if batch is not None
@@ -239,7 +239,7 @@ class UserPeer:
         integrate them (transforming the pending patch) and retry until the
         proposal is accepted.
         """
-        started_at = self.node.sim.now
+        started_at = self.node.runtime.now
         replica = self.document(key)
         pending = self.pending.pop(key, None)
         if pending is None:
@@ -278,13 +278,13 @@ class UserPeer:
                     attempts=attempts,
                     retrieved_patches=retrieved_total,
                     started_at=started_at,
-                    finished_at=self.node.sim.now,
+                    finished_at=self.node.runtime.now,
                     author=self.author,
                     log_replicas=result.replicas,
                 )
                 self.commit_results.append(commit)
-                self.node.sim.trace.annotate(
-                    self.node.sim.now,
+                self.node.runtime.trace.annotate(
+                    self.node.runtime.now,
                     "ltr-user",
                     f"{self.author} committed {key}@{result.ts} "
                     f"after {attempts} attempt(s)",
@@ -295,7 +295,7 @@ class UserPeer:
                 # Atomic rejection (re-election mid-publication): nothing
                 # was committed; retry after a stabilization-sized pause so
                 # the re-routed proposal reaches the new Master.
-                yield self.node.sim.timeout(self.config.validation_retry_delay)
+                yield self.node.runtime.timeout(self.config.validation_retry_delay)
                 continue
 
             # We are behind: run the retrieval procedure and try again.
@@ -325,7 +325,7 @@ class UserPeer:
         :class:`~repro.core.protocol.BatchCommitResult`, or ``None`` when
         the batch was empty or absent.
         """
-        started_at = self.node.sim.now
+        started_at = self.node.runtime.now
         replica = self.document(key)
         batch = self.batches.pop(key, None)
         if batch is None or len(batch) == 0:
@@ -391,13 +391,13 @@ class UserPeer:
                     attempts=attempts,
                     retrieved_patches=retrieved_total,
                     started_at=started_at,
-                    finished_at=self.node.sim.now,
+                    finished_at=self.node.runtime.now,
                     author=self.author,
                     log_replicas=result.replicas,
                 )
                 self.batch_results.append(outcome)
-                self.node.sim.trace.annotate(
-                    self.node.sim.now,
+                self.node.runtime.trace.annotate(
+                    self.node.runtime.now,
                     "ltr-user",
                     f"{self.author} committed batch {key}@{result.first_ts}.."
                     f"{result.last_ts} after {attempts} attempt(s)",
@@ -408,7 +408,7 @@ class UserPeer:
                 # Atomic rejection (re-election mid-batch): nothing was
                 # committed; retry after a stabilization-sized pause so the
                 # re-routed proposal reaches the new Master.
-                yield self.node.sim.timeout(self.config.validation_retry_delay)
+                yield self.node.runtime.timeout(self.config.validation_retry_delay)
                 continue
 
             # We are behind: retrieve, rebase the whole chain, try again.
@@ -446,7 +446,7 @@ class UserPeer:
         O(document age).  When every checkpoint replica is unreachable the
         sync silently falls back to the paper's full log replay.
         """
-        started_at = self.node.sim.now
+        started_at = self.node.runtime.now
         replica = self.document(key)
         if key in self._flushing:
             # A flush of this key is in flight: it will bring the replica up
@@ -458,7 +458,7 @@ class UserPeer:
                 to_ts=replica.applied_ts,
                 already_current=True,
                 started_at=started_at,
-                finished_at=self.node.sim.now,
+                finished_at=self.node.runtime.now,
                 details={"deferred_to_flush": True},
             )
             self.sync_results.append(result)
@@ -471,7 +471,7 @@ class UserPeer:
                 to_ts=replica.applied_ts,
                 already_current=True,
                 started_at=started_at,
-                finished_at=self.node.sim.now,
+                finished_at=self.node.runtime.now,
             )
             self.sync_results.append(result)
             return result
@@ -512,7 +512,7 @@ class UserPeer:
             to_ts=replica.applied_ts,
             retrieved_patches=len(entries),
             started_at=started_at,
-            finished_at=self.node.sim.now,
+            finished_at=self.node.runtime.now,
             checkpoint_ts=checkpoint_ts,
         )
         self.sync_results.append(result)
@@ -567,7 +567,7 @@ class UserPeer:
                     raise MasterUnavailable(
                         f"Master-key peer for {key!r} unreachable after {attempt} attempts"
                     ) from exc
-                yield self.node.sim.timeout(self.config.validation_retry_delay)
+                yield self.node.runtime.timeout(self.config.validation_retry_delay)
 
     # ------------------------------------------------------------------ statistics --
 

@@ -48,15 +48,15 @@ class ChordDhtClient(DhtClient):
         items = list(items)
         if not items:
             return {"stored": [], "owners": 0, "hops": 0}
-        sim = self.node.sim
+        runtime = self.node.runtime
         resolutions = [
-            sim.process(
+            runtime.process(
                 self._resolve_placement(key, key_id),
                 name=f"resolve:{key}",
             )
             for key, _value, key_id in items
         ]
-        yield sim.all_of(resolutions)
+        yield runtime.all_of(resolutions)
         stored = [False] * len(items)
         hops = 0
         groups: dict[Any, list[int]] = {}
@@ -70,7 +70,7 @@ class ChordDhtClient(DhtClient):
         writes = [
             (
                 indexes,
-                sim.process(
+                runtime.process(
                     self._store_group(owner, [items[i] for i in indexes]),
                     name=f"store_many:{owner.address.name}",
                 ),
@@ -78,7 +78,7 @@ class ChordDhtClient(DhtClient):
             for owner, indexes in groups.items()
         ]
         if writes:
-            yield sim.all_of([process for _indexes, process in writes])
+            yield runtime.all_of([process for _indexes, process in writes])
         for indexes, process in writes:
             if process.value:
                 for index in indexes:
@@ -133,15 +133,15 @@ class ChordDhtClient(DhtClient):
         items = list(items)
         if not items:
             return {"values": [], "owners": 0, "hops": 0}
-        sim = self.node.sim
+        runtime = self.node.runtime
         resolutions = [
-            sim.process(
+            runtime.process(
                 self._resolve_placement(key, key_id),
                 name=f"resolve:{key}",
             )
             for key, key_id in items
         ]
-        yield sim.all_of(resolutions)
+        yield runtime.all_of(resolutions)
         values: list[Any] = [None] * len(items)
         hops = 0
         groups: dict[Any, list[int]] = {}
@@ -155,7 +155,7 @@ class ChordDhtClient(DhtClient):
         reads = [
             (
                 indexes,
-                sim.process(
+                runtime.process(
                     self._fetch_group(owner, [items[i][0] for i in indexes]),
                     name=f"fetch_many:{owner.address.name}",
                 ),
@@ -163,7 +163,7 @@ class ChordDhtClient(DhtClient):
             for owner, indexes in groups.items()
         ]
         if reads:
-            yield sim.all_of([process for _indexes, process in reads])
+            yield runtime.all_of([process for _indexes, process in reads])
         for indexes, process in reads:
             found = process.value
             if not found:

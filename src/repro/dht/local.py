@@ -12,20 +12,25 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..errors import KeyNotFound
-from ..sim import Simulator
+from ..runtime import Runtime
 from .api import DhtClient
 
 
 class LocalDht(DhtClient):
     """An in-process key/value table with the DHT client interface."""
 
-    def __init__(self, sim: Simulator, *, operation_delay: float = 0.0, name: str = "local-dht") -> None:
-        self.sim = sim
+    def __init__(self, runtime: Runtime, *, operation_delay: float = 0.0, name: str = "local-dht") -> None:
+        self.runtime = runtime
         self.operation_delay = operation_delay
         self.name = name
         self._table: dict[str, Any] = {}
         self._handlers: dict[str, Any] = {}
         self.operations = 0
+
+    @property
+    def sim(self) -> Runtime:
+        """Backward-compatible alias for :attr:`runtime`."""
+        return self.runtime
 
     # -- handler registration (mimics RPC methods of the owner peer) ----------
 
@@ -38,7 +43,7 @@ class LocalDht(DhtClient):
     def _charge(self):
         self.operations += 1
         if self.operation_delay > 0:
-            yield self.sim.timeout(self.operation_delay)
+            yield self.runtime.timeout(self.operation_delay)
         return None
 
     def put(self, key: str, value: Any, *, key_id: Optional[int] = None):

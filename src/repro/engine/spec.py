@@ -64,13 +64,17 @@ class Topology:
     ``peers`` and ``latency`` are defaults: a grid axis named ``peers`` (or
     ``latency_preset``) overrides them per grid point, and the measurement
     callback can override them again per :meth:`ScenarioContext.build_system`
-    call.
+    call.  ``runtime`` selects the execution backend every built system
+    runs on (``"sim"`` — deterministic, the default — or ``"asyncio"`` —
+    wall-clock live mode); a grid axis or constant named ``runtime``
+    overrides it per grid point.
     """
 
     peers: int = 8
     latency: Union[str, float, LatencyModel, None] = None
     chord_config: ChordConfig = EXPERIMENT_CHORD_CONFIG
     ltr_config: Optional[LtrConfig] = None
+    runtime: str = "sim"
 
     def latency_model(self) -> LatencyModel:
         """The resolved :class:`~repro.net.LatencyModel` for this topology."""
@@ -182,21 +186,34 @@ class ScenarioContext:
         latency: Union[str, float, LatencyModel, None] = None,
         ltr_config: Optional[LtrConfig] = None,
         chord_config: Optional[ChordConfig] = None,
+        runtime: Optional[str] = None,
+        stabilize_time: Optional[float] = None,
     ) -> LtrSystem:
         """A bootstrapped :class:`~repro.core.LtrSystem` for this context.
 
         Defaults come from the topology and the context seed; every knob can
-        be overridden per call.
+        be overridden per call.  ``runtime`` selects the execution backend
+        (falling back to a ``runtime`` parameter, then the topology);
+        ``stabilize_time`` bounds the bootstrap stabilization budget — live
+        (asyncio) scenarios pass a tight bound because they pay it in
+        wall-clock seconds.
         """
         topology = self.topology
         count = peers if peers is not None else self.param("peers", topology.peers)
+        backend = (
+            runtime if runtime is not None
+            else self.param("runtime", topology.runtime if topology.runtime != "sim" else None)
+        )
+        # ``backend`` stays None for the default topology so that a config
+        # carrying ``runtime_backend`` keeps the final say in LtrSystem.
         system = LtrSystem(
             ltr_config=ltr_config if ltr_config is not None else topology.ltr_config,
             chord_config=chord_config if chord_config is not None else topology.chord_config,
             seed=seed if seed is not None else self.seed,
             latency=resolve_latency(latency if latency is not None else topology.latency),
+            runtime=backend,
         )
-        system.bootstrap(count)
+        system.bootstrap(count, stabilize_time=stabilize_time)
         return system
 
     def build_ring(

@@ -15,11 +15,30 @@ class ReproError(Exception):
 
 
 # ---------------------------------------------------------------------------
+# Execution runtime backends
+# ---------------------------------------------------------------------------
+
+
+class RuntimeBackendError(ReproError):
+    """Base class for errors raised by an execution runtime backend.
+
+    A *runtime backend* is whatever drives the stack's clock, timers,
+    processes and futures: the deterministic simulation kernel
+    (:mod:`repro.sim`, wrapped by ``repro.runtime.SimRuntime``) or the
+    wall-clock asyncio backend (``repro.runtime.AsyncioRuntime``).  Raw
+    backend failures (``TimeoutError``/``OSError`` leaking out of timers or
+    transports) are normalized onto the per-layer hierarchy by the RPC
+    layer (:func:`repro.net.rpc.normalize_backend_error`) so protocol code
+    only ever sees ``repro`` exceptions.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Simulation kernel
 # ---------------------------------------------------------------------------
 
 
-class SimulationError(ReproError):
+class SimulationError(RuntimeBackendError):
     """Base class for errors raised by the discrete-event simulation kernel."""
 
 

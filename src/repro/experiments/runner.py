@@ -35,6 +35,7 @@ QUICK_PARAMETERS: dict[str, dict] = {
             "commit_interval": 1.5},
     "E11": {"batch_sizes": (1, 4, 16), "peers": 10, "edits": 32},
     "E12": {"histories": (24, 48), "peers": 8, "checkpoint_interval": 8},
+    "E13": {"editor_counts": (2, 4), "peers": 8, "edits": 24},
 }
 
 #: Parameters closer to the paper's demonstration scale (slower).
@@ -55,6 +56,7 @@ FULL_PARAMETERS: dict[str, dict] = {
             "duration": 30.0, "commit_interval": 1.0},
     "E11": {"batch_sizes": (1, 2, 4, 8, 16, 32), "peers": 16, "edits": 96},
     "E12": {"histories": (64, 128, 256), "peers": 12, "checkpoint_interval": 32},
+    "E13": {"editor_counts": (2, 4, 8), "peers": 16, "edits": 200},
 }
 
 

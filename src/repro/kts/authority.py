@@ -116,7 +116,7 @@ class TimestampAuthority(NodeService):
             self.storage_key(key),
             lambda current: (current or 0) + count,
             default=0,
-            now=node.sim.now,
+            now=node.runtime.now,
         )
         # Pin the placement identifier so churn-driven key transfer moves the
         # counter together with the responsibility for ht(key).
@@ -127,8 +127,8 @@ class TimestampAuthority(NodeService):
         if count > 1:
             self.range_allocations += 1
         first = item.value - count + 1
-        node.sim.trace.annotate(
-            node.sim.now,
+        node.runtime.trace.annotate(
+            node.runtime.now,
             "kts",
             f"{node.address.name} next_timestamps({key}, {count}) -> "
             f"{first}..{item.value}",
@@ -170,7 +170,7 @@ class TimestampAuthority(NodeService):
         item = node.storage.put(
             self.storage_key(key),
             value,
-            now=node.sim.now,
+            now=node.runtime.now,
             key_id=self.placement_id(key),
         )
         node._push_replicas([item])

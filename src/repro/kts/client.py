@@ -52,7 +52,7 @@ class KtsClient:
                     raise MasterUnavailable(
                         f"Master-key peer for {key!r} unreachable after {attempt} attempts"
                     ) from exc
-                yield self.dht.node.sim.timeout(self.retry_delay)
+                yield self.dht.node.runtime.timeout(self.retry_delay)
 
     def gen_ts(self, key: str):
         """Generate the next timestamp for ``key`` (process)."""

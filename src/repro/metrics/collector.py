@@ -6,7 +6,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
-from ..sim import Simulator
+from ..runtime import Runtime
 from .stats import Summary, summarize
 
 
@@ -14,7 +14,7 @@ from .stats import Summary, summarize
 class MetricsCollector:
     """Named counters and measurement series for one experiment run."""
 
-    sim: Optional[Simulator] = None
+    sim: Optional[Runtime] = None
     counters: dict[str, float] = field(default_factory=dict)
     series: dict[str, list[float]] = field(default_factory=dict)
     annotations: list[tuple[float, str]] = field(default_factory=list)
@@ -54,7 +54,7 @@ class MetricsCollector:
         across ``sim.run`` driver calls).
         """
         if self.sim is None:
-            raise RuntimeError("timer() requires a collector bound to a Simulator")
+            raise RuntimeError("timer() requires a collector bound to a runtime")
         started = self.sim.now
         yield
         self.record(name, self.sim.now - started)

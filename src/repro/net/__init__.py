@@ -1,8 +1,9 @@
-"""Simulated network substrate: addresses, messages, latency, failures, RPC.
+"""Network substrate: addresses, messages, latency, failures, RPC.
 
 This package replaces the Java RMI transport of the original P2P-LTR
-prototype with a deterministic, simulator-driven message layer (see the
-substitution table in ``DESIGN.md``).
+prototype with a runtime-driven message layer (see the substitution table
+in ``DESIGN.md``): deterministic under the simulation backend, wall-clock
+concurrent under the asyncio backend.
 """
 
 from .address import Address, make_addresses
@@ -24,7 +25,7 @@ from .latency import (
     latency_preset,
 )
 from .message import DeliveryReceipt, Message, MessageKind, TrafficStats
-from .rpc import RpcAgent
+from .rpc import RpcAgent, normalize_backend_error
 from .transport import Network
 
 __all__ = [
@@ -49,4 +50,5 @@ __all__ = [
     "UniformLatency",
     "latency_preset",
     "make_addresses",
+    "normalize_backend_error",
 ]

@@ -17,8 +17,8 @@ import inspect
 from itertools import count
 from typing import Any, Callable, Dict, Optional
 
-from ..errors import NodeUnreachable, RequestTimeout, UnknownRpcMethod
-from ..sim import Future, Simulator
+from ..errors import NodeUnreachable, ReproError, RequestTimeout, UnknownRpcMethod
+from ..runtime import Future, Runtime
 from .address import Address
 from .message import Message, MessageKind
 from .transport import Network
@@ -26,11 +26,36 @@ from .transport import Network
 Handler = Callable[..., Any]
 
 
+def normalize_backend_error(exc: BaseException) -> BaseException:
+    """Map raw runtime-backend failures onto the ``repro`` exception hierarchy.
+
+    Protocol code catches :class:`~repro.errors.RequestTimeout` and
+    :class:`~repro.errors.NodeUnreachable`; a backend with real timers and
+    transports (the asyncio runtime, later real sockets) can instead
+    surface builtin ``TimeoutError``/``OSError`` from a handler or a timer.
+    This is the single choke point that normalizes those onto the
+    :class:`~repro.errors.RuntimeBackendError`-adjacent network errors, so
+    every layer above sees one failure vocabulary regardless of backend.
+    ``repro`` exceptions (and anything else) pass through unchanged.
+    """
+    if isinstance(exc, ReproError):
+        return exc
+    if isinstance(exc, TimeoutError):
+        normalized: BaseException = RequestTimeout(f"backend timeout: {exc!r}")
+        normalized.__cause__ = exc
+        return normalized
+    if isinstance(exc, OSError):
+        normalized = NodeUnreachable(f"backend transport failure: {exc!r}")
+        normalized.__cause__ = exc
+        return normalized
+    return exc
+
+
 class RpcAgent:
     """A network endpoint that can expose and invoke named methods."""
 
-    def __init__(self, sim: Simulator, network: Network, address: Address) -> None:
-        self.sim = sim
+    def __init__(self, runtime: Runtime, network: Network, address: Address) -> None:
+        self.runtime = runtime
         self.network = network
         self.address = address
         self._handlers: Dict[str, Handler] = {}
@@ -41,6 +66,11 @@ class RpcAgent:
         self._online = True
 
     # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def sim(self) -> Runtime:
+        """Backward-compatible alias for :attr:`runtime`."""
+        return self.runtime
 
     @property
     def online(self) -> bool:
@@ -115,7 +145,7 @@ class RpcAgent:
         :class:`~repro.errors.RequestTimeout` or
         :class:`~repro.errors.NodeUnreachable`.
         """
-        future = self.sim.future()
+        future = self.runtime.future()
         if not self._online:
             future.fail(NodeUnreachable(f"{self.address} is offline"))
             return future
@@ -128,13 +158,13 @@ class RpcAgent:
             method=method,
             payload=dict(arguments),
             request_id=request_id,
-            sent_at=self.sim.now,
+            sent_at=self.runtime.now,
         )
         self._pending[request_id] = future
         self.network.send(message)
 
         effective_timeout = timeout if timeout is not None else self.network.default_timeout
-        timeout_event = self.sim.timeout(effective_timeout)
+        timeout_event = self.runtime.timeout(effective_timeout)
 
         def on_timeout(_event: Any) -> None:
             pending = self._pending.pop(request_id, None)
@@ -174,7 +204,7 @@ class RpcAgent:
                 if attempt > retries:
                     raise
                 if retry_delay > 0:
-                    yield self.sim.timeout(retry_delay)
+                    yield self.runtime.timeout(retry_delay)
 
     def notify(self, destination: Address, method: str, **arguments: Any) -> None:
         """Send a one-way message (no response expected)."""
@@ -187,7 +217,7 @@ class RpcAgent:
             method=method,
             payload=dict(arguments),
             request_id=0,
-            sent_at=self.sim.now,
+            sent_at=self.runtime.now,
         )
         self.network.send(message)
 
@@ -209,7 +239,7 @@ class RpcAgent:
         if future is None or future.triggered:
             return  # response arrived after the timeout already fired
         if message.is_error:
-            future.fail(message.payload)
+            future.fail(normalize_backend_error(message.payload))
         else:
             future.succeed(message.payload)
 
@@ -221,10 +251,10 @@ class RpcAgent:
         try:
             outcome = handler(**(message.payload or {}))
         except Exception as exc:  # noqa: BLE001 - forwarded to the caller
-            self._respond(message, exc, is_error=True)
+            self._respond(message, normalize_backend_error(exc), is_error=True)
             return
         if inspect.isgenerator(outcome):
-            process = self.sim.process(outcome, name=f"{self.address}:{message.method}")
+            process = self.runtime.process(outcome, name=f"{self.address}:{message.method}")
             process.add_callback(lambda event: self._respond_from_event(message, event))
         else:
             self._respond(message, outcome)
@@ -238,16 +268,16 @@ class RpcAgent:
         except Exception:  # noqa: BLE001 - one-way failures are dropped
             return
         if inspect.isgenerator(outcome):
-            self.sim.process(outcome, name=f"{self.address}:{message.method}")
+            self.runtime.process(outcome, name=f"{self.address}:{message.method}")
 
     def _respond_from_event(self, request: Message, event: Any) -> None:
         if event.ok:
             self._respond(request, event.value)
         else:
-            self._respond(request, event.value, is_error=True)
+            self._respond(request, normalize_backend_error(event.value), is_error=True)
 
     def _respond(self, request: Message, payload: Any, *, is_error: bool = False) -> None:
         if not self._online:
             return
-        response = request.reply(payload, is_error=is_error, sent_at=self.sim.now)
+        response = request.reply(payload, is_error=is_error, sent_at=self.runtime.now)
         self.network.send(response)

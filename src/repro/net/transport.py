@@ -10,10 +10,10 @@ at that moment.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Protocol
+from typing import Dict, Optional, Protocol
 
 from ..errors import NetworkError
-from ..sim import Simulator
+from ..runtime import Runtime
 from .address import Address
 from .failures import LossModel, NoLoss, PartitionManager
 from .latency import ConstantLatency, LatencyModel
@@ -33,8 +33,9 @@ class Network:
 
     Parameters
     ----------
-    sim:
-        The simulator driving the experiment.
+    runtime:
+        The execution runtime driving the experiment (any
+        :class:`~repro.runtime.Runtime` backend).
     latency:
         One-way delay model (default: 10 ms constant).
     loss:
@@ -48,12 +49,12 @@ class Network:
 
     def __init__(
         self,
-        sim: Simulator,
+        runtime: Runtime,
         latency: Optional[LatencyModel] = None,
         loss: Optional[LossModel] = None,
         default_timeout: Optional[float] = None,
     ) -> None:
-        self.sim = sim
+        self.runtime = runtime
         self.latency = latency if latency is not None else ConstantLatency(0.01)
         self.loss = loss if loss is not None else NoLoss()
         self.partitions = PartitionManager()
@@ -63,8 +64,27 @@ class Network:
         self.default_timeout = default_timeout
         self._endpoints: Dict[Address, Endpoint] = {}
         self._crashed: set[Address] = set()
-        self._latency_rng = sim.rng.stream("net.latency")
-        self._loss_rng = sim.rng.stream("net.loss")
+
+    @property
+    def sim(self) -> Runtime:
+        """Backward-compatible alias for :attr:`runtime`."""
+        return self.runtime
+
+    @property
+    def _latency_rng(self):
+        """The latency stream, resolved per use.
+
+        Resolution at draw time (not at construction) lets a scope-aware
+        RNG family (the asyncio backend) hand each concurrent process its
+        own sub-stream, so draws never interleave within one named stream;
+        on the default backend this returns the same generator every time.
+        """
+        return self.runtime.rng.stream("net.latency")
+
+    @property
+    def _loss_rng(self):
+        """The loss stream, resolved per use (see :attr:`_latency_rng`)."""
+        return self.runtime.rng.stream("net.loss")
 
     # -- membership ---------------------------------------------------------
 
@@ -128,18 +148,10 @@ class Network:
         delay = self.latency.sample(self._latency_rng, message.source, message.destination)
         if delay < 0:
             raise NetworkError(f"latency model produced negative delay {delay}")
-        self._schedule_delivery(message, delay)
+        self.runtime.call_later(delay, self._deliver, message)
         return DeliveryReceipt(message, True, delay)
 
-    def _schedule_delivery(self, message: Message, delay: float) -> None:
-        event = self.sim.event()
-        event._ok = True
-        event._value = message
-        self.sim.schedule(event, delay=delay)
-        event.add_callback(self._deliver)
-
-    def _deliver(self, event: Any) -> None:
-        message: Message = event.value
+    def _deliver(self, message: Message) -> None:
         endpoint = self._endpoints.get(message.destination)
         if endpoint is None:
             # Destination crashed or left while the message was in flight.

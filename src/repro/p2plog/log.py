@@ -277,29 +277,29 @@ class P2PLogClient:
         (hundreds of missing timestamps) cannot flood the network with one
         simultaneous routed lookup per entry.
         """
-        sim = self._sim()
+        runtime = self._runtime()
         entries: list[Any] = []
         window_start = from_ts
         while window_start <= to_ts:
             window_end = min(window_start + self.max_parallel - 1, to_ts)
             processes = [
-                sim.process(self.fetch(document_key, ts), name=f"fetch:{document_key}@{ts}")
+                runtime.process(self.fetch(document_key, ts), name=f"fetch:{document_key}@{ts}")
                 for ts in range(window_start, window_end + 1)
             ]
-            yield sim.all_of(processes)
+            yield runtime.all_of(processes)
             entries.extend(process.value for process in processes)
             window_start = window_end + 1
         return entries
 
-    def _sim(self):
-        """The simulator driving the underlying DHT client."""
+    def _runtime(self):
+        """The execution runtime driving the underlying DHT client."""
         node = getattr(self.dht, "node", None)
         if node is not None:
-            return node.sim
-        sim = getattr(self.dht, "sim", None)
-        if sim is None:
-            raise RuntimeError("parallel retrieval requires a simulator-backed DHT client")
-        return sim
+            return node.runtime
+        runtime = getattr(self.dht, "runtime", None)
+        if runtime is None:
+            raise RuntimeError("parallel retrieval requires a runtime-backed DHT client")
+        return runtime
 
     def availability(self, document_key: str, ts: int):
         """Count how many placements of ``(document_key, ts)`` still answer (process).

@@ -1,0 +1,59 @@
+"""Execution runtimes: the substrate the protocol stack runs on.
+
+This package decouples the stack from the discrete-event simulator.  All
+layers above it (``repro.net`` upward) program against the
+:class:`~repro.runtime.api.Runtime` contract — clock, timers, generator
+processes, futures, named RNG streams — and two backends implement it:
+
+* :class:`SimRuntime` (``"sim"``, the default): the deterministic
+  discrete-event kernel.  Byte-identical to the historical
+  ``Simulator``-driven runs.
+* :class:`AsyncioRuntime` (``"asyncio"``): wall-clock timers and real
+  in-process concurrency on an asyncio event loop, bridging to native
+  tasks and queues.
+
+Backends are selected by name through :func:`create_runtime` /
+:func:`resolve_runtime` (what ``LtrConfig.runtime_backend`` and the
+scenario engine's ``Topology.runtime`` feed).  The event, process and RNG
+primitives are re-exported here so upper layers never import ``repro.sim``
+directly — ``tests/test_layering.py`` enforces that.
+"""
+
+from ..sim.events import AllOf, AnyOf, ConditionValue, Event, Future, Timeout
+from ..sim.process import Process, ProcessGenerator
+from ..sim.rng import RandomStreams, derive_seed
+from ..sim.tracing import TraceLog, TraceRecord
+from .api import (
+    RUNTIME_BACKENDS,
+    Runtime,
+    backend_name,
+    create_runtime,
+    resolve_runtime,
+)
+from .asyncio_backend import AsyncioRuntime
+from .sim_backend import SimRuntime
+from .sync import FifoLock, Semaphore
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "AsyncioRuntime",
+    "ConditionValue",
+    "Event",
+    "FifoLock",
+    "Future",
+    "Process",
+    "ProcessGenerator",
+    "RUNTIME_BACKENDS",
+    "RandomStreams",
+    "Runtime",
+    "Semaphore",
+    "SimRuntime",
+    "Timeout",
+    "TraceLog",
+    "TraceRecord",
+    "backend_name",
+    "create_runtime",
+    "derive_seed",
+    "resolve_runtime",
+]

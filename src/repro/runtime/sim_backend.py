@@ -1,0 +1,21 @@
+"""The deterministic simulation backend of the runtime interface.
+
+:class:`SimRuntime` *is* the discrete-event kernel
+(:class:`~repro.sim.Simulator`): the kernel has always implemented the
+runtime contract natively, so the default backend adds nothing but its
+backend tag.  This keeps the refactor byte-identical — a system built on
+``SimRuntime(seed=s)`` schedules exactly the events a pre-refactor
+``Simulator(seed=s)`` scheduled, so every seeded experiment artifact
+(E1–E12) reproduces bit for bit.
+"""
+
+from __future__ import annotations
+
+from ..sim import Simulator
+
+
+class SimRuntime(Simulator):
+    """Deterministic virtual-clock runtime (the default backend)."""
+
+    #: Backend identifier used by configuration and diagnostics.
+    backend = "sim"

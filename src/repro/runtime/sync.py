@@ -1,0 +1,15 @@
+"""Synchronization primitives at the runtime layer.
+
+:class:`FifoLock` and :class:`Semaphore` are implemented against the
+runtime contract only (they need nothing beyond ``runtime.future()``), so
+the same lock serializes Master-key validations on the deterministic
+kernel and on the asyncio backend.  The canonical implementation lives in
+:mod:`repro.sim.sync` (below this layer); this module is the import point
+for everything above ``repro.runtime``.
+"""
+
+from __future__ import annotations
+
+from ..sim.sync import FifoLock, Semaphore
+
+__all__ = ["FifoLock", "Semaphore"]

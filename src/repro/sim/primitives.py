@@ -1,0 +1,71 @@
+"""Backend-independent event and process factories.
+
+Every execution backend (the deterministic kernel, the asyncio runtime)
+creates the same one-shot event primitives and generator processes; only
+*when callbacks run* differs, and that policy lives entirely behind the
+backend's ``schedule(event, delay)``.  :class:`EventPrimitivesMixin`
+implements the shared factory surface once against that single hook, so
+the two backends cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from .events import AllOf, AnyOf, Event, Future, Timeout
+from .process import Process, ProcessGenerator
+
+
+class EventPrimitivesMixin:
+    """Factory methods shared by every runtime backend.
+
+    The host class must provide ``schedule(event, delay)`` (used directly
+    by :meth:`call_later` and indirectly by every event constructor via
+    ``Event.succeed``/``Timeout.__init__``).
+    """
+
+    def event(self) -> Event:
+        """Create an untriggered :class:`Event` bound to this runtime."""
+        return Event(self)
+
+    def future(self) -> Future:
+        """Create an untriggered :class:`Future` bound to this runtime."""
+        return Future(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Create an event that fires when all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Create an event that fires when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Register ``generator`` as a new process driven by this runtime."""
+        return Process(self, generator, name=name)
+
+    def call_later(
+        self, delay: float, callback: Callable[[Any], None], value: Any = None
+    ) -> Event:
+        """Run ``callback(value)`` once ``delay`` time units have elapsed.
+
+        The timer facility of the runtime interface (``repro.runtime``):
+        the network transport schedules message deliveries through it
+        instead of assembling pre-triggered events by hand, so the same
+        code drives every backend.  Returns the underlying event (useful
+        in tests).
+        """
+        event = self.event()
+        event._ok = True
+        event._value = value
+        self.schedule(event, delay=delay)  # type: ignore[attr-defined]
+        event.add_callback(lambda fired: callback(fired.value))
+        return event
+
+    def run_process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Any:
+        """Convenience wrapper: register ``generator`` and run until it finishes."""
+        return self.run(until=self.process(generator, name=name))  # type: ignore[attr-defined]

@@ -22,16 +22,17 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Iterable, Optional
+from typing import Any, Optional
 
 from ..errors import SimulationDeadlock
-from .events import AllOf, AnyOf, Event, Future, Timeout
-from .process import Process, ProcessGenerator
+from .events import Event
+from .primitives import EventPrimitivesMixin
+from .process import Process
 from .rng import RandomStreams
 from .tracing import TraceLog
 
 
-class Simulator:
+class Simulator(EventPrimitivesMixin):
     """Deterministic discrete-event simulator with a virtual clock.
 
     Parameters
@@ -84,31 +85,7 @@ class Simulator:
         """The process currently being stepped, if any."""
         return self._active_process
 
-    # -- event creation helpers -------------------------------------------
-
-    def event(self) -> Event:
-        """Create an untriggered :class:`Event` bound to this simulator."""
-        return Event(self)
-
-    def future(self) -> Future:
-        """Create an untriggered :class:`Future` bound to this simulator."""
-        return Future(self)
-
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` time units from now."""
-        return Timeout(self, delay, value)
-
-    def all_of(self, events: Iterable[Event]) -> AllOf:
-        """Create an event that fires when all ``events`` have succeeded."""
-        return AllOf(self, events)
-
-    def any_of(self, events: Iterable[Event]) -> AnyOf:
-        """Create an event that fires when any of ``events`` has succeeded."""
-        return AnyOf(self, events)
-
-    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
-        """Register ``generator`` as a new simulation process."""
-        return Process(self, generator, name=name)
+    # -- event creation helpers: inherited from EventPrimitivesMixin -------
 
     # -- scheduling --------------------------------------------------------
 
@@ -175,7 +152,3 @@ class Simulator:
         if until.ok:
             return until.value
         raise until.value
-
-    def run_process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Any:
-        """Convenience wrapper: register ``generator`` and run until it finishes."""
-        return self.run(until=self.process(generator, name=name))

@@ -1,0 +1,322 @@
+"""Unit tests of the asyncio runtime backend and the runtime abstraction.
+
+The backend must drive the *same* generator-process protocol code as the
+deterministic kernel — timers, futures, composite events, FIFO locks, the
+RPC layer — with wall-clock semantics, plus the asyncio bridge (native
+tasks/queues awaiting kernel events).  Also covered here: the runtime
+factory, the backend-error normalization at the RPC layer, and the
+scope-local RNG sub-streams that keep concurrent tasks from interleaving
+draws within one named stream.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    NodeUnreachable,
+    ReproError,
+    RequestTimeout,
+    RuntimeBackendError,
+    SimulationError,
+)
+from repro.net import Address, ConstantLatency, Network, RpcAgent
+from repro.net.rpc import normalize_backend_error
+from repro.runtime import (
+    AsyncioRuntime,
+    FifoLock,
+    RandomStreams,
+    SimRuntime,
+    backend_name,
+    create_runtime,
+    derive_seed,
+    resolve_runtime,
+)
+import random
+
+
+@pytest.fixture
+def runtime():
+    instance = AsyncioRuntime(seed=1, run_guard=10.0)
+    yield instance
+    instance.close()
+
+
+# ------------------------------------------------------------- factory --
+
+
+def test_create_runtime_backends():
+    sim = create_runtime("sim", seed=3)
+    assert isinstance(sim, SimRuntime) and backend_name(sim) == "sim"
+    aio = create_runtime("asyncio", seed=3)
+    try:
+        assert isinstance(aio, AsyncioRuntime) and backend_name(aio) == "asyncio"
+    finally:
+        aio.close()
+    with pytest.raises(ConfigurationError):
+        create_runtime("threads")
+
+
+def test_resolve_runtime_passthrough_and_names():
+    sim = SimRuntime(seed=5)
+    assert resolve_runtime(sim) is sim
+    assert isinstance(resolve_runtime(None, seed=1), SimRuntime)
+    aio = resolve_runtime("asyncio", seed=1)
+    try:
+        assert isinstance(aio, AsyncioRuntime)
+    finally:
+        aio.close()
+
+
+def test_runtime_backend_error_is_wired_into_the_hierarchy():
+    assert issubclass(RuntimeBackendError, ReproError)
+    assert issubclass(SimulationError, RuntimeBackendError)
+
+
+# ---------------------------------------------------- event primitives --
+
+
+def test_timeout_fires_on_wall_clock(runtime):
+    value = runtime.run(until=runtime.timeout(0.02, "fired"))
+    assert value == "fired"
+    assert runtime.now >= 0.02
+
+
+def test_process_chain_and_return_value(runtime):
+    def child():
+        yield runtime.timeout(0.005)
+        return 21
+
+    def parent():
+        doubled = yield runtime.process(child())
+        return doubled * 2
+
+    assert runtime.run(until=runtime.process(parent())) == 42
+
+
+def test_future_between_processes(runtime):
+    future = runtime.future()
+
+    def producer():
+        yield runtime.timeout(0.005)
+        future.succeed("payload")
+
+    def consumer():
+        payload = yield future
+        return payload
+
+    runtime.process(producer())
+    assert runtime.run(until=runtime.process(consumer())) == "payload"
+
+
+def test_all_of_collects_concurrent_processes(runtime):
+    def worker(delay, tag):
+        yield runtime.timeout(delay)
+        return tag
+
+    processes = [runtime.process(worker(0.002 * i, i)) for i in range(4)]
+
+    def driver():
+        yield runtime.all_of(processes)
+        return [process.value for process in processes]
+
+    assert runtime.run(until=runtime.process(driver())) == [0, 1, 2, 3]
+
+
+def test_process_exception_propagates_and_is_recorded(runtime):
+    def boom():
+        yield runtime.timeout(0.001)
+        raise ValueError("live failure")
+
+    with pytest.raises(ValueError):
+        runtime.run(until=runtime.process(boom()))
+    assert any(isinstance(exc, ValueError) for _proc, exc in runtime.crashed_processes)
+
+
+def test_fifo_lock_serializes_concurrent_processes(runtime):
+    lock = FifoLock(runtime)
+    order = []
+
+    def critical(tag):
+        yield from lock.acquire()
+        try:
+            order.append(f"{tag}-in")
+            yield runtime.timeout(0.005)
+            order.append(f"{tag}-out")
+        finally:
+            lock.release()
+
+    first = runtime.process(critical("a"))
+    second = runtime.process(critical("b"))
+    runtime.run(until=first)
+    runtime.run(until=second)
+    assert order == ["a-in", "a-out", "b-in", "b-out"]
+
+
+# ------------------------------------------------------------ execution --
+
+
+def test_run_requires_a_target(runtime):
+    with pytest.raises(RuntimeBackendError):
+        runtime.run()
+
+
+def test_run_until_time_sleeps_wall_clock(runtime):
+    target = runtime.now + 0.03
+    runtime.run(until=target)
+    assert runtime.now >= target - 1e-9
+
+
+def test_run_guard_raises_instead_of_hanging():
+    guarded = AsyncioRuntime(run_guard=0.05)
+    try:
+        with pytest.raises(RuntimeBackendError, match="run guard"):
+            guarded.run(until=guarded.future())  # never triggered
+    finally:
+        guarded.close()
+
+
+def test_closed_runtime_refuses_work(runtime):
+    runtime.close()
+    with pytest.raises(RuntimeBackendError):
+        runtime.run(until=runtime.now + 0.01)
+
+
+# ------------------------------------------------------- asyncio bridge --
+
+
+def test_spawn_and_wait_bridge_native_tasks(runtime):
+    def producer():
+        yield runtime.timeout(0.005)
+        return "from-process"
+
+    results = runtime.queue()
+
+    async def editor():
+        value = await runtime.wait(runtime.process(producer()))
+        await results.put(value)
+        return value
+
+    task = runtime.spawn(editor(), name="editor-1")
+    assert runtime.run_until_complete(task) == "from-process"
+    assert results.get_nowait() == "from-process"
+
+
+# ------------------------------------------------------------ RPC layer --
+
+
+def build_rpc_pair(runtime):
+    network = Network(runtime, latency=ConstantLatency(0.001))
+    a = RpcAgent(runtime, network, Address("a"))
+    b = RpcAgent(runtime, network, Address("b"))
+    return network, a, b
+
+
+def test_rpc_round_trip_on_asyncio(runtime):
+    _network, a, b = build_rpc_pair(runtime)
+    b.expose("echo", lambda text: text.upper())
+
+    def caller():
+        answer = yield a.call(b.address, "echo", text="live")
+        return answer
+
+    assert runtime.run(until=runtime.process(caller())) == "LIVE"
+
+
+def test_rpc_timeout_on_asyncio(runtime):
+    _network, a, b = build_rpc_pair(runtime)
+    b.go_offline(crash=True)
+
+    def caller():
+        yield a.call(b.address, "ping", timeout=0.02)
+
+    with pytest.raises(RequestTimeout):
+        runtime.run(until=runtime.process(caller()))
+
+
+# ----------------------------------------- backend-error normalization --
+
+
+def test_normalize_backend_error_mapping():
+    timeoutish = normalize_backend_error(asyncio.TimeoutError("timer"))
+    assert isinstance(timeoutish, RequestTimeout)
+    unreachable = normalize_backend_error(OSError(111, "connection refused"))
+    assert isinstance(unreachable, NodeUnreachable)
+    domain = RequestTimeout("already normalized")
+    assert normalize_backend_error(domain) is domain
+    other = ValueError("untouched")
+    assert normalize_backend_error(other) is other
+
+
+@pytest.mark.parametrize(
+    ("raised", "expected"),
+    [(TimeoutError, RequestTimeout), (OSError, NodeUnreachable)],
+    ids=["timeout", "oserror"],
+)
+def test_rpc_normalizes_raw_backend_failures_from_handlers(raised, expected):
+    # The mapping is backend-independent; the deterministic kernel keeps
+    # this test instant.
+    runtime = SimRuntime(seed=2)
+    _network, a, b = build_rpc_pair(runtime)
+
+    def flaky():
+        raise raised("raw backend failure")
+
+    b.expose("flaky", flaky)
+
+    def caller():
+        yield a.call(b.address, "flaky")
+
+    with pytest.raises(expected):
+        runtime.run(until=runtime.process(caller()))
+
+
+# -------------------------------------------------- RNG stream isolation --
+
+
+def test_rng_scope_isolation_across_processes(runtime):
+    """Concurrent processes cannot interleave draws within one named stream.
+
+    Each process resolves ``stream("workload")`` to its own scope-local
+    sub-stream, so its draw sequence equals a fresh generator seeded for
+    ``workload#<process name>`` regardless of how the scheduler interleaves
+    the two processes.
+    """
+    draws: dict[str, list[float]] = {"p-one": [], "p-two": []}
+
+    def sampler(tag):
+        for _ in range(5):
+            draws[tag].append(runtime.rng.stream("workload").random())
+            yield runtime.timeout(0.001)
+
+    first = runtime.process(sampler("p-one"), name="p-one")
+    second = runtime.process(sampler("p-two"), name="p-two")
+    runtime.run(until=first)
+    runtime.run(until=second)
+
+    for tag in ("p-one", "p-two"):
+        expected = random.Random(
+            derive_seed(runtime.rng.master_seed, f"workload#{tag}")
+        )
+        assert draws[tag] == [expected.random() for _ in range(5)], (
+            f"draws of {tag} were perturbed by the other process"
+        )
+
+
+def test_rng_default_family_is_unchanged():
+    """Without a scope provider the historical behaviour is bit-identical."""
+    family = RandomStreams(7)
+    expected = random.Random(derive_seed(7, "latency"))
+    assert [family.stream("latency").random() for _ in range(4)] == [
+        expected.random() for _ in range(4)
+    ]
+    assert family.stream("latency") is family.stream("latency")
+
+
+def test_rng_unscoped_draws_outside_processes(runtime):
+    """Driver code outside any process/task uses the unscoped stream."""
+    value = runtime.rng.stream("driver").random()
+    expected = random.Random(derive_seed(runtime.rng.master_seed, "driver"))
+    follow_up = runtime.rng.stream("driver").random()
+    assert [value, follow_up] == [expected.random(), expected.random()]
