@@ -1,0 +1,56 @@
+"""Benchmark E14 — recovery after a network partition (nemesis run).
+
+The nemesis cuts two non-Master peers away from a committing system, heals
+the partition and re-joins the islanded side; the convergence checker
+snapshots the commit invariants at every fault boundary.  The benchmark
+asserts the recovery headline: the majority keeps committing through the
+whole fault window (success fraction 1.0), no invariant snapshot records a
+violation, and the stale minority replica catches up within a small bound
+after the heal.  ``benchmarks/run_all.py --only E14`` writes the
+``BENCH_E14.json`` snapshot this scenario is tracked by.
+
+Run with ``pytest benchmarks/bench_recovery.py --benchmark-only -s``.
+"""
+
+from repro.experiments import run_experiment
+
+PARTITION_S = 6.0
+#: Catch-up must finish well before the convergence budget: the minority
+#: replica only has the partition window's worth of suffix to retrieve.
+MAX_CONVERGE_S = 5.0
+
+
+def test_benchmark_partition_recovery(benchmark):
+    """E14: invariants hold across partition + heal; convergence is prompt."""
+    run = benchmark.pedantic(
+        lambda: run_experiment(
+            "E14",
+            quick=True,
+            overrides={
+                "partition_durations": (PARTITION_S,),
+                "edit_intervals": (0.5,),
+                "peers": 10,
+                "converge_budget": 20.0,
+            },
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = run.table
+    print()
+    print(table.render())
+
+    (row,) = run.result.rows
+    # The Master side never stops serving: every probe commit lands.
+    assert row["success_fraction"] == 1.0
+    # The checker snapshotted every fault boundary and found nothing.
+    assert row["checker_snapshots"] >= 4
+    assert row["violations"] == 0
+    assert row["injection_errors"] == 0
+    assert row["converged"] is True
+    # The stale minority replica caught up promptly after the heal.
+    assert row["time_to_converge_s"] is not None, "minority never converged"
+    assert row["time_to_converge_s"] <= MAX_CONVERGE_S, (
+        f"post-heal convergence took {row['time_to_converge_s']}s "
+        f"(bound {MAX_CONVERGE_S}s)"
+    )

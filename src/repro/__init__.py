@@ -22,6 +22,10 @@ report and every substrate it depends on:
   baselines used by the evaluation.
 * :mod:`repro.workloads` — synthetic editing and churn workload generators.
 * :mod:`repro.metrics` — measurement helpers and result tables.
+* :mod:`repro.faults` — declarative fault injection: composable
+  :class:`~repro.faults.FaultPlan` schedules replayed by a nemesis.
+* :mod:`repro.check` — the convergence checker snapshotting the commit
+  invariants at every fault boundary.
 * :mod:`repro.experiments` — the harness regenerating every scenario and
   figure of the paper's evaluation (see ``EXPERIMENTS.md``).
 

@@ -1,0 +1,15 @@
+"""Model checking for nemesis runs: invariant snapshots + final convergence.
+
+:class:`ConvergenceChecker` attaches to an :class:`~repro.core.LtrSystem`
+as an opt-in fault observer (``system.add_observer(checker)``); every fault
+boundary the nemesis crosses produces a :class:`CheckSnapshot` verifying
+dense timestamps, a prefix-complete log and OT convergence from global
+state, and :meth:`ConvergenceChecker.final_check` verifies post-heal
+eventual convergence end-to-end.  Reports are deterministic data — on the
+simulation backend a replayed ``(plan, seed)`` pair yields byte-identical
+``to_json()`` output.
+"""
+
+from .checker import CheckSnapshot, ConvergenceChecker
+
+__all__ = ["CheckSnapshot", "ConvergenceChecker"]

@@ -1,0 +1,346 @@
+"""The convergence checker: invariant snapshots at fault boundaries.
+
+:class:`ConvergenceChecker` is the model-checking half of the nemesis
+subsystem (:mod:`repro.faults`).  It is attached to a running
+:class:`~repro.core.LtrSystem` as an opt-in fault observer; at every fault
+boundary it takes a *global-state snapshot* — reading node storage, counter
+items and user replicas directly, with the omniscience only a test harness
+has — and verifies the paper's three commit invariants without driving the
+runtime (observer callbacks run inside timer callbacks, where re-entrant
+``run`` calls are forbidden):
+
+1. **Dense timestamps** — the authoritative counter of every tracked
+   document stays within ``max_in_flight`` of the newest *surviving* log
+   entry, in both directions.  The Master publishes *before* it advances
+   the counter (``publish_before_ack``), so mid-commit snapshots
+   legitimately observe the newest entry without its timestamp allocation;
+   a counter further behind would let a timestamp be re-issued and fork
+   the total order, and a counter further *ahead* means acked tail entries
+   vanished from every live peer.
+2. **Prefix-complete log** — every timestamp ``1 .. log_max`` survives on
+   at least one live peer (owned or replica copy), and all surviving copies
+   of one timestamp agree on *content* (``base_ts`` + patch).  Provenance
+   fields (``published_at``) may differ: a publish that was retracted or
+   re-run after a partial failure leaves re-stamped copies behind, which is
+   benign as long as the replayed content is identical.
+3. **OT convergence** — every caught-up user replica equals the canonical
+   replay of the log prefix.
+
+:meth:`final_check` adds the *post-heal eventual convergence* check: it may
+drive the runtime (sync every peer, fetch the log through the real
+retrieval procedure) and is called once the plan has finished and the
+network healed.
+
+Snapshots are plain deterministic data: on the simulation backend the same
+``(plan, seed)`` pair yields byte-identical :meth:`to_json` reports across
+runs, which the test-suite asserts.
+
+Caveat: the snapshot gap check assumes log publication is ordered per key
+(the unbatched pipeline, or quiescent batches at fault boundaries).  A
+snapshot taken mid-flight of a *batched* publish may observe a transient
+gap, because a batch's placements are written in parallel.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..core.consistency import replay_log
+from ..errors import ReproError
+from ..kts.authority import COUNTER_PREFIX
+from ..p2plog import LogEntry, make_log_key
+
+
+@dataclass
+class CheckSnapshot:
+    """One invariant snapshot: global state at a single instant."""
+
+    time: float
+    label: str
+    keys: dict[str, dict[str, Any]] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when no invariant was violated at this boundary."""
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic serializable form (sorted by document key)."""
+        return {
+            "time": self.time,
+            "label": self.label,
+            "keys": {key: dict(info) for key, info in sorted(self.keys.items())},
+            "violations": list(self.violations),
+        }
+
+
+class ConvergenceChecker:
+    """Snapshots system state at fault boundaries and checks invariants."""
+
+    def __init__(self, keys: Optional[Iterable[str]] = None,
+                 *, max_in_flight: int = 1) -> None:
+        #: Documents to check.  When empty, every document with a counter
+        #: item anywhere in the ring is discovered at snapshot time.
+        self.tracked: list[str] = sorted(set(keys)) if keys else []
+        #: How far the newest log entry may run ahead of the counter at a
+        #: fault boundary (publish-before-ack in-flight window).  One for
+        #: the unbatched pipeline; batched runs should pass the batch size.
+        self.max_in_flight = max_in_flight
+        self.snapshots: list[CheckSnapshot] = []
+
+    def track(self, key: str) -> None:
+        """Add ``key`` to the tracked set (sorted, duplicates ignored)."""
+        if key not in self.tracked:
+            self.tracked.append(key)
+            self.tracked.sort()
+
+    # ------------------------------------------------------------ observer --
+
+    def on_fault(self, system, label: str, details: dict) -> None:
+        """Fault-boundary hook: snapshot and record (never drives the run)."""
+        self.snapshots.append(self.check_now(system, label=label))
+
+    # ----------------------------------------------------------- snapshots --
+
+    def check_now(self, system, *, label: str = "manual",
+                  strict_counter: bool = False) -> CheckSnapshot:
+        """Take one invariant snapshot of ``system`` (read-only).
+
+        ``strict_counter=True`` requires ``counter == log_max`` exactly (no
+        in-flight allowance) — correct only at quiescence, where an entry
+        still running ahead of its counter means an abandoned publish whose
+        timestamp will be re-issued.
+        """
+        snapshot = CheckSnapshot(time=system.runtime.now, label=label)
+        for key in self._keys(system):
+            snapshot.keys[key] = self._check_key(
+                system, key, snapshot.violations, strict_counter=strict_counter
+            )
+        return snapshot
+
+    def final_check(self, system, *, settle: float = 0.0,
+                    label: str = "final") -> CheckSnapshot:
+        """Post-heal eventual-convergence check (drives the runtime).
+
+        Runs the real retrieval procedure on every live user peer and the
+        end-to-end consistency report; call it only from driver code, after
+        the plan's last fault (and any heal) has fired.
+        """
+        if settle > 0.0:
+            system.run_for(settle)
+        # Quiescent state pass first: with no commit in flight the counter
+        # and the log must agree exactly.
+        self.snapshots.append(
+            self.check_now(system, label=f"{label}:state", strict_counter=True)
+        )
+        snapshot = CheckSnapshot(time=system.runtime.now, label=label)
+        for key in self._keys(system):
+            try:
+                report = system.check_consistency(key)
+            except ReproError as error:
+                # An unretrievable log or unreachable Master at quiescence
+                # is itself the verdict, not a harness crash.
+                snapshot.keys[key] = {"error": type(error).__name__}
+                snapshot.violations.append(
+                    f"{key}: final consistency check failed "
+                    f"({type(error).__name__}: {error})"
+                )
+                continue
+            snapshot.keys[key] = {
+                "last_ts": report.last_ts,
+                "replicas": report.replica_count,
+                "distinct_contents": report.distinct_contents,
+                "log_continuous": report.log_continuous,
+                "converged": report.converged,
+            }
+            if not report.log_continuous:
+                snapshot.violations.append(
+                    f"{key}: final log not continuous up to {report.last_ts}"
+                )
+            if not report.converged:
+                snapshot.violations.append(
+                    f"{key}: replicas did not converge after heal "
+                    f"({report.distinct_contents} distinct contents)"
+                )
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    # -------------------------------------------------------------- report --
+
+    def violations(self) -> list[str]:
+        """Every violation recorded so far, in snapshot order."""
+        found: list[str] = []
+        for snapshot in self.snapshots:
+            found.extend(snapshot.violations)
+        return found
+
+    @property
+    def ok(self) -> bool:
+        """``True`` while no snapshot has recorded a violation."""
+        return not self.violations()
+
+    def report(self) -> dict[str, Any]:
+        """The full checker report (what artifacts and tests consume)."""
+        return {
+            "tracked": list(self.tracked),
+            "snapshots": [snapshot.to_dict() for snapshot in self.snapshots],
+            "violations_total": len(self.violations()),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering; byte-identical for replayed sim runs."""
+        return json.dumps(self.report(), indent=2, sort_keys=True, default=str)
+
+    # ------------------------------------------------------------ internals --
+
+    def _keys(self, system) -> list[str]:
+        if self.tracked:
+            return list(self.tracked)
+        discovered: set[str] = set()
+        for node in system.ring.live_nodes():
+            for item in node.storage:
+                if item.key.startswith(COUNTER_PREFIX):
+                    discovered.add(item.key[len(COUNTER_PREFIX):])
+        return sorted(discovered)
+
+    def _check_key(self, system, key: str, violations: list[str],
+                   *, strict_counter: bool = False) -> dict[str, Any]:
+        owned, replicas = self._counter_values(system, key)
+        last_ts = max(owned) if owned else max(replicas, default=0)
+
+        log_max = self._probe_log_max(system, key, last_ts)
+        missing: list[int] = []
+        mismatched: list[int] = []
+        entries: list[LogEntry] = []
+        for ts in range(1, log_max + 1):
+            copies = self._entry_copies(system, key, ts)
+            if not copies:
+                missing.append(ts)
+                continue
+            # Content signature: what a replay applies.  Copies re-stamped
+            # by a retried publish differ only in provenance and agree here.
+            signatures = {(copy.base_ts, repr(copy.patch)) for copy in copies}
+            if len(signatures) > 1:
+                mismatched.append(ts)
+            entries.append(copies[0])
+
+        for ts in missing:
+            violations.append(
+                f"{key}: log entry ts {ts} lost from every live peer"
+            )
+        for ts in mismatched:
+            violations.append(
+                f"{key}: surviving copies of ts {ts} disagree on content"
+            )
+        allowance = 0 if strict_counter else self.max_in_flight
+        if log_max - last_ts > allowance:
+            violations.append(
+                f"{key}: counter last-ts {last_ts} behind log max {log_max} "
+                f"(timestamp fork hazard)"
+            )
+        if last_ts - log_max > allowance:
+            # Publish-before-ack means an entry exists before its timestamp
+            # is allocated, so a counter ahead of the *surviving* log is the
+            # tail-loss direction: acked timestamps whose entries vanished
+            # from every live peer.  (The allowance covers the
+            # ack-before-publish ablation's in-flight window.)
+            violations.append(
+                f"{key}: counter last-ts {last_ts} ahead of surviving log "
+                f"max {log_max} (newest acked entries lost)"
+            )
+
+        caught_up = lagging = 0
+        diverged: list[str] = []
+        ahead: list[str] = []
+        if not missing and not mismatched and log_max > 0:
+            canonical = replay_log(key, entries)
+            for author, replica in self._replicas(system, key):
+                if replica.applied_ts == log_max:
+                    caught_up += 1
+                    if replica.lines != canonical.lines:
+                        diverged.append(author)
+                elif replica.applied_ts > log_max + allowance:
+                    ahead.append(author)
+                else:
+                    # Behind the log, or within the in-flight window above
+                    # it (it applied an acked entry whose copies the
+                    # tail-loss rule already accounts for): not comparable
+                    # against the canonical replay either way.
+                    lagging += 1
+            for author in diverged:
+                violations.append(
+                    f"{key}: caught-up replica at {author} diverges from "
+                    f"the canonical log replay"
+                )
+            for author in ahead:
+                violations.append(
+                    f"{key}: replica at {author} applied ts beyond the "
+                    f"surviving log (applied > {log_max})"
+                )
+
+        return {
+            "last_ts": last_ts,
+            "log_max": log_max,
+            "counter_owners": len(owned),
+            "missing_ts": missing,
+            "mismatched_ts": mismatched,
+            "caught_up": caught_up,
+            "lagging": lagging,
+            "diverged": sorted(diverged),
+        }
+
+    @staticmethod
+    def _counter_values(system, key: str) -> tuple[list[int], list[int]]:
+        storage_key = f"{COUNTER_PREFIX}{key}"
+        owned: list[int] = []
+        replicas: list[int] = []
+        for node in system.ring.live_nodes():
+            item = node.storage.get(storage_key)
+            if item is None:
+                continue
+            (replicas if item.is_replica else owned).append(int(item.value))
+        return owned, replicas
+
+    def _probe_log_max(self, system, key: str, last_ts: int) -> int:
+        """Newest timestamp with a surviving log copy.
+
+        Starts from the counter value and probes upward, so entries that
+        outlived their counter (e.g. after an amnesiac Master restart) are
+        still accounted for.
+        """
+        log_max = last_ts
+        while log_max > 0 and not self._entry_copies(system, key, log_max):
+            log_max -= 1
+        while self._entry_copies(system, key, log_max + 1):
+            log_max += 1
+        return log_max
+
+    @staticmethod
+    def _entry_copies(system, key: str, ts: int) -> list[LogEntry]:
+        """Every surviving copy of ``(key, ts)`` across all live peers."""
+        log_key = make_log_key(key, ts)
+        copies: list[LogEntry] = []
+        for function in system.hash_family:
+            storage_key = function.placement_key(log_key)
+            for node in system.ring.live_nodes():
+                item = node.storage.get(storage_key)
+                if item is not None and isinstance(item.value, LogEntry):
+                    copies.append(item.value)
+        return copies
+
+    @staticmethod
+    def _replicas(system, key: str):
+        """(author, document) pairs of live user replicas of ``key``."""
+        pairs = []
+        for user in system.users():
+            name = user.node.address.name
+            node = system.ring.nodes.get(name)
+            if node is None or not node.alive:
+                continue
+            replica = user.documents.get(key)
+            if replica is not None:
+                pairs.append((user.author, replica))
+        return sorted(pairs, key=lambda pair: pair[0])

@@ -77,6 +77,7 @@ class ChordNode:
 
         self.alive = False
         self._next_finger = 0
+        self._maintenance_epoch = 0
         self._replica_targets: tuple[NodeRef, ...] = ()
         self.lookups_served = 0
         self.route_cache: Optional[RouteCache] = (
@@ -151,6 +152,16 @@ class ChordNode:
         self._start_maintenance()
 
         # Ask the successor for the keys that now belong to us.
+        yield from self._reclaim_keys_from(successor)
+        return self.ref
+
+    def _reclaim_keys_from(self, successor: NodeRef):
+        """Ask ``successor`` for the keys we are now responsible for (process).
+
+        The hand-off tail shared by :meth:`join` and :meth:`rejoin`: best
+        effort — an unreachable successor just means stabilization and the
+        misplacement repair restore the data later.
+        """
         try:
             items = yield self.rpc.call(
                 successor.address,
@@ -162,7 +173,6 @@ class ChordNode:
             items = []
         if items:
             self._absorb_items(items, as_replica=False)
-        return self.ref
 
     def leave(self):
         """Gracefully leave the ring, handing keys to the successor.
@@ -222,13 +232,63 @@ class ChordNode:
         self.alive = False
         self.rpc.go_offline(crash=True)
 
-    def restart(self) -> None:
+    def restart(self, *, amnesia: bool = False) -> None:
         """Re-register with the network after :meth:`fail` (same identity).
 
-        The node comes back empty-handed (volatile state lost) and must
-        re-join a ring explicitly.
+        The node must re-join a ring explicitly (:meth:`join` or
+        :meth:`rejoin`).  With ``amnesia=True`` the node also loses its
+        durable state — storage, routing tables, predecessor — modelling a
+        peer that comes back on fresh hardware; by default the restart is
+        state-preserving (only the network endpoint was down).
         """
+        if amnesia:
+            self.storage = NodeStorage(self.config.bits)
+            self.fingers = FingerTable(self.node_id, self.config.bits)
+            self.successors = SuccessorList(
+                self.node_id, self.config.successor_list_size
+            )
+            self.predecessor = None
+            self._replica_targets = ()
+            if self.route_cache is not None:
+                self.route_cache.clear()
         self.rpc.go_online()
+
+    def rejoin(self, bootstrap: Address):
+        """Re-enter a ring after a restart or an islanding event.
+
+        Simulation process.  Two situations end with a live peer outside the
+        ring: a crash + :meth:`restart` (the ring routed around us), and a
+        healed partition that left us a singleton (our side timed everyone
+        out and we collapsed to ``successor == self``).  A dead node takes
+        the full :meth:`join` path; an alive-but-islanded node only re-runs
+        the successor handshake — respawning the maintenance loops would
+        double them.
+        """
+        if not self.alive:
+            result = yield from self.join(bootstrap)
+            return result
+        answer = yield from self.rpc.request(
+            bootstrap,
+            "find_successor",
+            target_id=self.node_id,
+            hops=0,
+            timeout=self.config.rpc_timeout,
+            retries=self.config.rpc_retries,
+        )
+        successor: NodeRef = answer["node"]
+        if successor == self.ref:
+            return self.ref  # the gateway still routes to us: nothing to repair
+        self.predecessor = None
+        self.successors.replace([successor])
+        self.fingers.fill_with(successor)
+        if self.route_cache is not None:
+            self.route_cache.clear()
+        self.rpc.notify(successor.address, "notify", candidate=self.ref)
+        # While we were islanded the ring routed our arc to the successor;
+        # reclaim the keys it stood in for (same hand-off a fresh join gets),
+        # otherwise lookups that now resolve to us again would miss them.
+        yield from self._reclaim_keys_from(successor)
+        return self.ref
 
     # ------------------------------------------------------------- lookups --
 
@@ -352,6 +412,14 @@ class ChordNode:
             return None
         interval, owner = cached
         if not self.network.is_up(owner.address):
+            self.route_cache.invalidate_node(owner)
+            return None
+        if not self.network.partitions.allows(self.address, owner.address):
+            # The owner is unreachable inside an active partition window.
+            # Our side of the partition reorganizes responsibility while the
+            # entry sits in the cache, so the route must not survive into
+            # the healed network either: purge it now instead of serving a
+            # pre-partition claim after the heal.
             self.route_cache.invalidate_node(owner)
             return None
         return interval, owner
@@ -530,30 +598,43 @@ class ChordNode:
     # ----------------------------------------------------------- maintenance --
 
     def _start_maintenance(self) -> None:
-        self.runtime.process(self._stabilize_loop(), name=f"{self.address.name}.stabilize")
-        self.runtime.process(self._fix_fingers_loop(), name=f"{self.address.name}.fix_fingers")
+        # A crash + restart within one maintenance interval would otherwise
+        # leave the pre-crash loops runnable next to the fresh ones (they
+        # only observe ``alive`` when their timers fire); bumping the epoch
+        # retires every older generation deterministically.
+        self._maintenance_epoch += 1
+        epoch = self._maintenance_epoch
         self.runtime.process(
-            self._check_predecessor_loop(), name=f"{self.address.name}.check_pred"
+            self._stabilize_loop(epoch), name=f"{self.address.name}.stabilize"
+        )
+        self.runtime.process(
+            self._fix_fingers_loop(epoch), name=f"{self.address.name}.fix_fingers"
+        )
+        self.runtime.process(
+            self._check_predecessor_loop(epoch), name=f"{self.address.name}.check_pred"
         )
 
-    def _stabilize_loop(self):
-        while self.alive:
+    def _maintenance_active(self, epoch: int) -> bool:
+        return self.alive and self._maintenance_epoch == epoch
+
+    def _stabilize_loop(self, epoch: int):
+        while self._maintenance_active(epoch):
             yield self.runtime.timeout(self.config.stabilize_interval)
-            if not self.alive:
+            if not self._maintenance_active(epoch):
                 break
             yield from self._stabilize_once()
 
-    def _fix_fingers_loop(self):
-        while self.alive:
+    def _fix_fingers_loop(self, epoch: int):
+        while self._maintenance_active(epoch):
             yield self.runtime.timeout(self.config.fix_fingers_interval)
-            if not self.alive:
+            if not self._maintenance_active(epoch):
                 break
             yield from self._fix_one_finger()
 
-    def _check_predecessor_loop(self):
-        while self.alive:
+    def _check_predecessor_loop(self, epoch: int):
+        while self._maintenance_active(epoch):
             yield self.runtime.timeout(self.config.check_predecessor_interval)
-            if not self.alive:
+            if not self._maintenance_active(epoch):
                 break
             yield from self._check_predecessor_once()
 
@@ -589,6 +670,7 @@ class ChordNode:
             self.successors.adopt(successor, their_list)
             self.rpc.notify(successor.address, "notify", candidate=self.ref)
             self._refresh_replicas_if_targets_changed()
+            yield from self._repair_misplaced_items()
             if self.route_cache is not None and self.successors.head != head_before:
                 # Our immediate successor changed (join or repair): our own
                 # base-case interval moved, so cached routes are suspect.
@@ -635,8 +717,63 @@ class ChordNode:
             self.predecessor = None
             promoted = self.storage.promote_replicas(lambda item: True)
             if promoted:
+                # Promotion makes us the owner of items that just lost their
+                # only other copy; restore the replication degree right away
+                # instead of waiting for a successor-list change — a second
+                # failure in the window would otherwise lose them for good.
+                self._push_replicas(promoted)
                 for service in self.services:
                     service.on_replicas_promoted(promoted)
+
+    #: How many misplaced items one stabilize round repairs (bounds the
+    #: extra traffic a heavily disturbed node generates per interval).
+    REPAIR_BATCH = 8
+
+    def _repair_misplaced_items(self):
+        """Forward owned items that do not belong to us any more (process).
+
+        Degraded routing — message-loss windows, transient partitions —
+        can land a write on a stand-in peer: the lookup excluded the real
+        owner as unreachable, so the item was stored *owned* outside the
+        stand-in's responsibility interval.  Nothing ever moves it back
+        (hand-off only covers joins and departures), leaving the item
+        invisible to every correctly routed read.  Each stabilize round
+        therefore re-routes up to :data:`REPAIR_BATCH` misplaced owned
+        items to their current owner, keeping a local replica copy as a
+        backup.  On a stable ring with correctly placed data this scan
+        finds nothing and costs no messages — seeded fault-free runs stay
+        byte-identical.
+        """
+        if self.predecessor is None or self.predecessor == self.ref:
+            return
+        start, end = self.responsibility_interval()
+        if start == end:
+            return  # single-node interval covers the whole ring
+        misplaced = [
+            item for item in self.storage.owned_items()
+            if item.key_id is not None
+            and not in_interval_open_closed(item.key_id, start, end)
+        ][:self.REPAIR_BATCH]
+        for item in misplaced:
+            try:
+                answer = yield from self._find_successor_local(item.key_id, 0)
+            except LookupFailed:
+                continue
+            owner: NodeRef = answer["node"]
+            if owner == self.ref:
+                continue  # our view says it is ours after all
+            try:
+                yield self.rpc.call(
+                    owner.address,
+                    "receive_items",
+                    items=[item],
+                    as_replica=False,
+                    timeout=self.config.rpc_timeout,
+                )
+            except _UNREACHABLE_ERRORS:
+                continue
+            # Keep a backup copy; the owner re-replicates to its successors.
+            item.is_replica = True
 
     # ----------------------------------------------------------- replication --
 

@@ -74,6 +74,7 @@ class LtrSystem:
             service_factory=self._make_services,
         )
         self._users: dict[str, UserPeer] = {}
+        self._observers: list[Any] = []
 
     @property
     def sim(self) -> Runtime:
@@ -90,6 +91,33 @@ class LtrSystem:
         close = getattr(self.runtime, "close", None)
         if callable(close):
             close()
+
+    # -------------------------------------------------------------- observers --
+
+    def add_observer(self, observer: Any) -> None:
+        """Attach a fault observer (opt-in; e.g. a convergence checker).
+
+        Observers expose ``on_fault(system, label, details)`` and are called
+        at every fault boundary the nemesis (:mod:`repro.faults`) crosses.
+        The hook runs inside a timer callback, so observers must only read
+        state — never drive the runtime.
+        """
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer: Any) -> None:
+        """Detach a previously attached fault observer (unknown ones ignored)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def notify_fault(self, label: str, details: Optional[dict] = None) -> None:
+        """Tell every attached observer that a fault action just applied."""
+        for observer in list(self._observers):
+            observer.on_fault(self, label, details or {})
+
+    def forget_user(self, name: str) -> None:
+        """Drop the user peer hosted on ``name`` (its node is going away)."""
+        self._users.pop(name, None)
 
     def _make_services(self, address: Address):
         return [
@@ -128,6 +156,44 @@ class LtrSystem:
         """A peer fails abruptly (scenario E3, failure case)."""
         self._users.pop(name, None)
         self.ring.crash(name)
+        self.ring.wait_until_stable(max_time=120)
+
+    def prepare_restart(self, name: str, *, amnesia: bool = False,
+                        via: Optional[str] = None):
+        """Restart a crashed peer and return its re-join generator.
+
+        The shared restart primitive: picks a gateway (first live peer in
+        ring order, or ``via``), re-registers the node's endpoint
+        (``amnesia`` wipes its durable state first) and hands back the
+        ``rejoin`` process generator *unspawned* — the synchronous
+        :meth:`restart_peer` driver runs it to completion, while the
+        fault-injection layer spawns it supervised in the background.
+        """
+        node = self.ring.node(name)
+        if via is not None:
+            gateway = self.ring.node(via)
+        else:
+            gateway = next(
+                (peer for peer in self.ring.live_nodes()
+                 if peer.address.name != name),
+                None,
+            )
+            if gateway is None:
+                raise DhtError(f"cannot restart {name!r}: no live gateway remains")
+        node.restart(amnesia=amnesia)
+        return node.rejoin(gateway.address)
+
+    def restart_peer(self, name: str, *, amnesia: bool = False,
+                     via: Optional[str] = None) -> None:
+        """Bring a crashed peer back and re-join it (synchronous driver).
+
+        The fault-injection layer performs the same steps asynchronously
+        through plan events; this driver is for tests and examples that want
+        the restart completed (including re-stabilization) before returning.
+        """
+        rejoin = self.prepare_restart(name, amnesia=amnesia, via=via)
+        self.runtime.run(until=self.runtime.process(rejoin))
+        self.ring.clear_route_caches()
         self.ring.wait_until_stable(max_time=120)
 
     def run_for(self, duration: float) -> None:

@@ -298,6 +298,16 @@ class UserPeer:
                 yield self.node.runtime.timeout(self.config.validation_retry_delay)
                 continue
 
+            if result.last_ts <= replica.applied_ts:
+                # The answering peer is behind *us*: a stale counter copy —
+                # routing landed on a spuriously promoted or not-yet-caught-up
+                # Master during a fault window.  There is nothing to retrieve;
+                # hot-retrying would burn the whole attempt budget in
+                # milliseconds, so pause a stabilization-sized delay and let
+                # routing re-converge on the real Master.
+                yield self.node.runtime.timeout(self.config.validation_retry_delay)
+                continue
+
             # We are behind: run the retrieval procedure and try again.
             entries = yield from self.log.fetch_range(
                 key, replica.applied_ts + 1, result.last_ts,
@@ -408,6 +418,13 @@ class UserPeer:
                 # Atomic rejection (re-election mid-batch): nothing was
                 # committed; retry after a stabilization-sized pause so the
                 # re-routed proposal reaches the new Master.
+                yield self.node.runtime.timeout(self.config.validation_retry_delay)
+                continue
+
+            if result.last_ts <= replica.applied_ts:
+                # A Master behind our own replica (stale counter copy in a
+                # fault window): nothing to retrieve — back off and let
+                # routing re-converge instead of hot-looping (see commit()).
                 yield self.node.runtime.timeout(self.config.validation_retry_delay)
                 continue
 

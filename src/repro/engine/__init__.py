@@ -12,6 +12,7 @@ from .artifacts import headline_metrics, read_artifact, write_artifact, write_ar
 from .runner import Experiment, ScenarioResult, render_results, run_scenario
 from .spec import (
     EXPERIMENT_CHORD_CONFIG,
+    NemesisFn,
     ParamDict,
     ScenarioContext,
     ScenarioSpec,
@@ -23,6 +24,7 @@ from .spec import (
 __all__ = [
     "EXPERIMENT_CHORD_CONFIG",
     "Experiment",
+    "NemesisFn",
     "ParamDict",
     "ScenarioContext",
     "ScenarioResult",

@@ -29,10 +29,12 @@ from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
 
 from ..chord import ChordConfig
 from ..core import LtrConfig, LtrSystem
+from ..faults import FaultPlan, Nemesis
 from ..net import ConstantLatency, LatencyModel, latency_preset
 
 ParamDict = dict[str, Any]
 MeasureFn = Callable[["ScenarioContext"], Union[ParamDict, Iterable[ParamDict]]]
+NemesisFn = Callable[["ScenarioContext", LtrSystem], FaultPlan]
 
 #: Chord settings shared by the paper experiments (small id space keeps
 #: hashing cheap; intervals sized for fast simulated convergence).
@@ -109,6 +111,15 @@ class ScenarioSpec:
         per-point seeds) and a repeat-specific stride.
     repeats:
         How many times to run the measurement per grid point.
+    nemesis:
+        Optional fault-plan factory: a callable receiving the
+        :class:`ScenarioContext` and the built system, returning a
+        :class:`~repro.faults.FaultPlan` built from the merged parameters
+        and the system's actual topology (which peer is the Master-key
+        peer, ring order, ...).  The measurement arms it with
+        :meth:`ScenarioContext.install_nemesis`; keeping the plan on the
+        spec makes the scenario's failure schedule part of its declarative
+        surface (E14/E15 are written this way).
     notes:
         Free-form notes attached to the result table.
     """
@@ -122,6 +133,7 @@ class ScenarioSpec:
     topology: Topology = Topology()
     seed: int = 0
     repeats: int = 1
+    nemesis: Optional[NemesisFn] = None
     seed_offset: Optional[Callable[[ParamDict], int]] = None
     notes: Sequence[str] = ()
     description: str = ""
@@ -175,6 +187,40 @@ class ScenarioContext:
     def param(self, name: str, default: Any = None) -> Any:
         """A merged parameter (grid point over constants), with a default."""
         return self.params.get(name, default)
+
+    # ------------------------------------------------------------ nemesis --
+
+    def fault_plan(self, system: LtrSystem) -> Optional[FaultPlan]:
+        """The spec's fault plan built for this context (``None`` if none)."""
+        if self.spec.nemesis is None:
+            return None
+        return self.spec.nemesis(self, system)
+
+    def install_nemesis(
+        self,
+        system: LtrSystem,
+        plan: Optional[FaultPlan] = None,
+        *,
+        observers: Sequence[Any] = (),
+        start_at: float = 0.0,
+        strict: bool = False,
+    ) -> Nemesis:
+        """Arm a fault plan against ``system`` and start its timers.
+
+        ``plan`` defaults to the spec's :attr:`~ScenarioSpec.nemesis`
+        factory; ``observers`` (e.g. a
+        :class:`~repro.check.ConvergenceChecker` and a
+        :class:`~repro.metrics.RecoveryTracker`) are attached to the system
+        before the first fault can fire.
+        """
+        effective = plan if plan is not None else self.fault_plan(system)
+        if effective is None:
+            raise ValueError(
+                f"scenario {self.spec.scenario_id!r} declares no fault plan"
+            )
+        for observer in observers:
+            system.add_observer(observer)
+        return Nemesis(system, effective, strict=strict).start(at=start_at)
 
     # ----------------------------------------------------------- builders --
 

@@ -36,6 +36,10 @@ QUICK_PARAMETERS: dict[str, dict] = {
     "E11": {"batch_sizes": (1, 4, 16), "peers": 10, "edits": 32},
     "E12": {"histories": (24, 48), "peers": 8, "checkpoint_interval": 8},
     "E13": {"editor_counts": (2, 4), "peers": 8, "edits": 24},
+    "E14": {"partition_durations": (2.0, 4.0), "edit_intervals": (1.0,),
+            "peers": 8, "converge_budget": 15.0},
+    "E15": {"restart_delays": (3.0,), "load_intervals": (0.75,),
+            "peers": 8, "tail": 4.0},
 }
 
 #: Parameters closer to the paper's demonstration scale (slower).
@@ -57,6 +61,10 @@ FULL_PARAMETERS: dict[str, dict] = {
     "E11": {"batch_sizes": (1, 2, 4, 8, 16, 32), "peers": 16, "edits": 96},
     "E12": {"histories": (64, 128, 256), "peers": 12, "checkpoint_interval": 32},
     "E13": {"editor_counts": (2, 4, 8), "peers": 16, "edits": 200},
+    "E14": {"partition_durations": (2.0, 4.0, 8.0), "edit_intervals": (0.5, 1.0),
+            "peers": 12, "converge_budget": 25.0},
+    "E15": {"restart_delays": (2.0, 5.0, 8.0), "load_intervals": (0.5, 1.0),
+            "peers": 12, "tail": 6.0},
 }
 
 

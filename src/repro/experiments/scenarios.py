@@ -25,8 +25,9 @@ from dataclasses import replace
 from typing import Callable, Iterable, Sequence
 
 from ..baselines import CentralSystem, LwwSystem
+from ..check import ConvergenceChecker
 from ..chord import ChordRing
-from ..core import LtrConfig
+from ..core import LtrConfig, LtrSystem
 from ..dht import ChordDhtClient
 from ..engine import (
     EXPERIMENT_CHORD_CONFIG,
@@ -36,8 +37,9 @@ from ..engine import (
     run_scenario,
 )
 from ..errors import KeyNotFound, MasterUnavailable, PatchUnavailable, ReproError
+from ..faults import FaultPlan
 from ..kts import KtsClient, TimestampAuthority
-from ..metrics import ResultTable, jains_fairness, summarize
+from ..metrics import RecoveryTracker, ResultTable, jains_fairness, summarize
 from ..net import ConstantLatency, latency_preset
 from ..workloads import (
     PROFILES,
@@ -63,6 +65,8 @@ __all__ = [
     "experiment_log_availability",
     "experiment_master_departure",
     "experiment_master_join",
+    "experiment_master_takeover",
+    "experiment_partition_heal",
     "experiment_response_time",
     "experiment_timestamp_generation",
     "iter_all_experiments",
@@ -1305,6 +1309,296 @@ def experiment_live_runtime(
 
 
 # ---------------------------------------------------------------------------
+# E14 — Partition-heal convergence sweep (nemesis) — engine-native scenario
+# ---------------------------------------------------------------------------
+
+#: LTR tuning shared by the nemesis scenarios: probes must fail fast while
+#: their Master is unreachable instead of burning the whole fault window in
+#: retries, so the recovery-time columns measure the system, not the client.
+NEMESIS_LTR_CONFIG = LtrConfig(validation_retries=2, validation_retry_delay=0.25)
+
+#: The document every nemesis scenario hammers.
+NEMESIS_KEY = "xwiki:nemesis"
+
+
+def _drive_probes(system: LtrSystem, tracker: RecoveryTracker, writer: str,
+                  key: str, *, interval: float, count: int,
+                  on_tick=None) -> float:
+    """Periodic commit probes from ``writer``; outcomes land in ``tracker``.
+
+    The timed loop both nemesis scenarios share: advance to the next tick,
+    attempt one commit, record success or the failure's exception name.
+    ``on_tick`` (if given) runs at each tick before the commit — e.g. to
+    observe who the Master currently is.  Returns the loop's start time.
+    """
+    start = system.runtime.now
+    for index in range(count):
+        target = start + (index + 1) * interval
+        if system.runtime.now < target:
+            system.run_for(target - system.runtime.now)
+        if on_tick is not None:
+            on_tick()
+        try:
+            system.edit_and_commit(writer, key, f"revision {index} by {writer}")
+            tracker.record_probe(system.runtime.now, True)
+        except ReproError as error:
+            tracker.record_probe(system.runtime.now, False, type(error).__name__)
+    return start
+
+
+def _nemesis_cast(system: LtrSystem, key: str, minority_size: int = 2):
+    """Deterministic role assignment for a nemesis scenario.
+
+    Returns ``(writer, master, minority)``: the probe writer (never the
+    Master-key peer), the current Master of ``key`` and ``minority_size``
+    peers that are neither writer, Master nor the Master's ring successor
+    (so counter replicas survive the fault on the majority side).
+    """
+    ring = system.peer_names()
+    master = system.master_of(key)
+    writer = next(name for name in ring if name != master)
+    successor = ring[(ring.index(master) + 1) % len(ring)]
+    protected = {writer, master, successor}
+    minority = [name for name in ring if name not in protected][:minority_size]
+    return writer, master, minority
+
+
+def _e14_plan(ctx: ScenarioContext, system: LtrSystem) -> FaultPlan:
+    """Cut two non-Master peers away, heal, then re-join the islanded side."""
+    partition_s = ctx.params["partition_s"]
+    _writer, _master, minority = _nemesis_cast(system, NEMESIS_KEY)
+    return FaultPlan().partition(
+        at=1.0, groups=[minority], heal_after=partition_s, rejoin_after=1.0
+    )
+
+
+def _measure_partition_heal(ctx: ScenarioContext) -> dict:
+    partition_s = ctx.params["partition_s"]
+    edit_interval = ctx.params["edit_interval"]
+    peers = ctx.params["peers"]
+    converge_budget = ctx.params["converge_budget"]
+    system = ctx.build_system(peers, ltr_config=NEMESIS_LTR_CONFIG)
+    key = NEMESIS_KEY
+    writer, _master, minority = _nemesis_cast(system, key)
+    system.edit_and_commit(writer, key, "base revision")
+    # A minority-side user holds a replica that will go stale behind the
+    # partition; post-heal convergence is measured against it.
+    observed_peer = minority[0]
+    system.sync(observed_peer, key)
+
+    checker = ConvergenceChecker(keys=[key])
+    tracker = RecoveryTracker()
+    nemesis = ctx.install_nemesis(system, observers=(checker, tracker))
+    # Probes span the whole fault window: split at 1.0, heal after
+    # partition_s, re-join 1.0 later, plus one interval of tail.
+    probes = max(1, int((1.0 + partition_s + 2.0) / edit_interval))
+    start = _drive_probes(system, tracker, writer, key,
+                          interval=edit_interval, count=probes)
+
+    # Post-heal convergence: step until the stale minority replica catches
+    # up with the canonical log again (the recovery-time headline of E14).
+    # Measured from the *heal* itself — the re-joins fire 1.0 s later and
+    # are part of the recovery being timed.
+    heal_time = start + 1.0 + partition_s
+    if system.runtime.now < heal_time:
+        system.run_for(heal_time - system.runtime.now)
+    step, waited, caught_up = 0.25, 0.0, False
+    while waited <= converge_budget:
+        try:
+            system.sync(observed_peer, key)
+            replica = system.user(observed_peer).documents[key]
+            if replica.applied_ts == system.last_ts(key):
+                caught_up = True
+                break
+        except ReproError:
+            pass  # ring still re-merging; keep stepping
+        system.run_for(step)
+        waited += step
+    time_to_converge = round(system.runtime.now - heal_time, 3) if caught_up else None
+    final = checker.final_check(system, settle=1.0)
+    summary = tracker.summary()
+    return {
+        "partition_s": partition_s,
+        "edit_interval": edit_interval,
+        "commits_attempted": summary["probes_attempted"],
+        "commits_ok": summary["probes_ok"],
+        "success_fraction": round(summary["success_fraction"], 3),
+        "time_to_converge_s": time_to_converge,
+        "checker_snapshots": len(checker.snapshots),
+        "violations": len(checker.violations()),
+        "injection_errors": len(nemesis.errors),
+        "converged": final.ok,
+    }
+
+
+def partition_heal_spec(
+    partition_durations: Sequence[float] = (2.0, 4.0, 8.0),
+    edit_intervals: Sequence[float] = (0.5, 1.0),
+    peers: int = 10,
+    converge_budget: float = 20.0,
+    seed: int = 14,
+) -> ScenarioSpec:
+    """Convergence after a partition, swept over duration and edit rate."""
+    return ScenarioSpec(
+        scenario_id="E14",
+        title="E14 Partition-heal convergence sweep",
+        description=(
+            "Nemesis scenario: two non-Master peers are cut away while the "
+            "majority keeps committing, then the partition heals and the "
+            "islanded peers re-join.  The convergence checker snapshots the "
+            "commit invariants at every fault boundary; the headline column "
+            "is how long the stale minority replica needs to catch up after "
+            "the heal."
+        ),
+        columns=(
+            "partition_s", "edit_interval", "commits_attempted", "commits_ok",
+            "success_fraction", "time_to_converge_s", "checker_snapshots",
+            "violations", "injection_errors", "converged",
+        ),
+        grid={
+            "partition_s": tuple(partition_durations),
+            "edit_interval": tuple(edit_intervals),
+        },
+        constants={"peers": peers, "converge_budget": converge_budget},
+        seed=seed,
+        nemesis=_e14_plan,
+        measure=_measure_partition_heal,
+        notes=(
+            "expected shape: success fraction stays high (the Master side keeps "
+            "serving), violations stay 0, and time-to-converge grows with the "
+            "partition duration (more suffix to retrieve) but not with edit rate",
+        ),
+    )
+
+
+def experiment_partition_heal(
+    partition_durations: Sequence[float] = (2.0, 4.0, 8.0),
+    edit_intervals: Sequence[float] = (0.5, 1.0),
+    peers: int = 10,
+    converge_budget: float = 20.0,
+    seed: int = 14,
+) -> ResultTable:
+    """Legacy-style entry point for E14; see :func:`partition_heal_spec`."""
+    return run_scenario(partition_heal_spec(
+        partition_durations, edit_intervals, peers, converge_budget, seed)).table
+
+
+# ---------------------------------------------------------------------------
+# E15 — Master crash-restart takeover under load (nemesis) — engine-native
+# ---------------------------------------------------------------------------
+
+
+def _e15_plan(ctx: ScenarioContext, system: LtrSystem) -> FaultPlan:
+    """Crash the Master-key peer mid-load; restart it amnesiac later."""
+    restart_delay = ctx.params["restart_delay"]
+    _writer, master, _minority = _nemesis_cast(system, NEMESIS_KEY)
+    return FaultPlan().crash(
+        at=1.5, peer=master, restart_after=restart_delay, amnesia=True
+    )
+
+
+def _measure_master_takeover(ctx: ScenarioContext) -> dict:
+    restart_delay = ctx.params["restart_delay"]
+    load_interval = ctx.params["load_interval"]
+    peers = ctx.params["peers"]
+    tail = ctx.params["tail"]
+    system = ctx.build_system(peers, ltr_config=NEMESIS_LTR_CONFIG)
+    key = NEMESIS_KEY
+    writer, master, _minority = _nemesis_cast(system, key)
+    system.edit_and_commit(writer, key, "base revision")
+    system.run_for(2.0)  # let the counter/log replicas reach the *-Succ peers
+
+    checker = ConvergenceChecker(keys=[key])
+    tracker = RecoveryTracker()
+    nemesis = ctx.install_nemesis(system, observers=(checker, tracker))
+    horizon = 1.5 + restart_delay + tail
+    probes = max(1, int(horizon / load_interval))
+    masters_observed = set()
+    start = _drive_probes(
+        system, tracker, writer, key,
+        interval=load_interval, count=probes,
+        on_tick=lambda: masters_observed.add(system.master_of(key)),
+    )
+
+    final = checker.final_check(system, settle=2.0)
+    crash_time = next(
+        (when for when, label in tracker.faults if label.startswith("crash")),
+        start + 1.5,
+    )
+    recovery = tracker.recovery_time(crash_time)
+    summary = tracker.summary()
+    return {
+        "restart_delay": restart_delay,
+        "load_interval": load_interval,
+        "commits_attempted": summary["probes_attempted"],
+        "commits_ok": summary["probes_ok"],
+        "success_fraction": round(summary["success_fraction"], 3),
+        "recovery_time_s": round(recovery, 3) if recovery is not None else None,
+        "takeover_observed": any(name != master for name in masters_observed),
+        "master_restored": system.master_of(key) == master,
+        "last_ts": system.last_ts(key),
+        "violations": len(checker.violations()),
+        "injection_errors": len(nemesis.errors),
+        "converged": final.ok,
+    }
+
+
+def master_takeover_spec(
+    restart_delays: Sequence[float] = (2.0, 5.0),
+    load_intervals: Sequence[float] = (0.5, 1.0),
+    peers: int = 10,
+    tail: float = 5.0,
+    seed: int = 15,
+) -> ScenarioSpec:
+    """Master crash + amnesiac restart under sustained commit load."""
+    return ScenarioSpec(
+        scenario_id="E15",
+        title="E15 Master crash-restart takeover under load",
+        description=(
+            "Nemesis scenario: the Master-key peer of a hot document "
+            "crashes while a writer keeps committing, and restarts "
+            "amnesiac (fresh hardware) a few seconds later.  The "
+            "Master-key-Succ must take over from its counter replica with "
+            "no timestamp gap; the rows report how quickly commits flow "
+            "again and that the invariants held across crash, takeover and "
+            "the restarted peer's re-join."
+        ),
+        columns=(
+            "restart_delay", "load_interval", "commits_attempted", "commits_ok",
+            "success_fraction", "recovery_time_s", "takeover_observed",
+            "master_restored", "last_ts", "violations", "injection_errors",
+            "converged",
+        ),
+        grid={
+            "restart_delay": tuple(restart_delays),
+            "load_interval": tuple(load_intervals),
+        },
+        constants={"peers": peers, "tail": tail},
+        seed=seed,
+        nemesis=_e15_plan,
+        measure=_measure_master_takeover,
+        notes=(
+            "paper claim under the harshest schedule: the Master-key-Succ takes "
+            "over the counter (continuous timestamps) and the amnesiac restart "
+            "re-joins without forking the sequence; recovery is a small multiple "
+            "of the failure-detection interval",
+        ),
+    )
+
+
+def experiment_master_takeover(
+    restart_delays: Sequence[float] = (2.0, 5.0),
+    load_intervals: Sequence[float] = (0.5, 1.0),
+    peers: int = 10,
+    tail: float = 5.0,
+    seed: int = 15,
+) -> ResultTable:
+    """Legacy-style entry point for E15; see :func:`master_takeover_spec`."""
+    return run_scenario(master_takeover_spec(
+        restart_delays, load_intervals, peers, tail, seed)).table
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -1323,6 +1617,8 @@ SPEC_FACTORIES: dict[str, Callable[..., ScenarioSpec]] = {
     "E11": batched_commit_spec,
     "E12": cold_sync_spec,
     "E13": live_runtime_spec,
+    "E14": partition_heal_spec,
+    "E15": master_takeover_spec,
 }
 
 
@@ -1342,4 +1638,6 @@ def iter_all_experiments() -> Iterable[tuple[str, Callable[..., ResultTable]]]:
         ("E11", experiment_batched_commit),
         ("E12", experiment_cold_sync),
         ("E13", experiment_live_runtime),
+        ("E14", experiment_partition_heal),
+        ("E15", experiment_master_takeover),
     ]

@@ -1,0 +1,49 @@
+"""Declarative fault injection: fault plans and the nemesis injector.
+
+The paper's claims are all claims about behaviour under failure; this
+package turns failure itself into a first-class, declarative input.  A
+:class:`FaultPlan` composes timed actions — partitions (with heal),
+message loss/duplication/reorder bursts, peer crash + restart
+(state-preserving or amnesiac), KTS replica lag and whole churn storms —
+and :class:`Nemesis` replays the plan against a running
+:class:`~repro.core.LtrSystem` through runtime timers: deterministic on
+the simulation backend, best-effort wall-clock on asyncio.  The paired
+model checker lives in :mod:`repro.check`; ``DESIGN.md`` §"Fault
+injection & checking" documents the grammar and the determinism contract.
+"""
+
+from .nemesis import Nemesis
+from .plan import (
+    ALL_ACTION_KINDS,
+    BeginPerturbation,
+    CrashPeer,
+    EndPerturbation,
+    FaultAction,
+    FaultEvent,
+    FaultPlan,
+    HealPartition,
+    JoinPeer,
+    KtsReplicaLag,
+    LeavePeer,
+    PartitionNetwork,
+    RejoinPeer,
+    RestartPeer,
+)
+
+__all__ = [
+    "ALL_ACTION_KINDS",
+    "BeginPerturbation",
+    "CrashPeer",
+    "EndPerturbation",
+    "FaultAction",
+    "FaultEvent",
+    "FaultPlan",
+    "HealPartition",
+    "JoinPeer",
+    "KtsReplicaLag",
+    "LeavePeer",
+    "Nemesis",
+    "PartitionNetwork",
+    "RejoinPeer",
+    "RestartPeer",
+]

@@ -1,0 +1,134 @@
+"""The nemesis: replays a :class:`~repro.faults.plan.FaultPlan` at runtime.
+
+The injector binds a plan to a running :class:`~repro.core.LtrSystem` and
+schedules every event through the runtime's ``call_later`` timer facility.
+On the simulation backend the timers fire at exact virtual times, so a plan
+plus a seed reproduces the identical fault interleaving run after run; on
+the asyncio backend the same timers are wall-clock and the plan is
+best-effort (actions fire at approximately their offsets).
+
+Actions run *inside* timer callbacks, so they never drive the runtime
+themselves: crashes and partitions are direct state changes, while joins,
+leaves, restarts and re-joins are spawned as background processes that the
+advancing run executes.  After each action the system's fault observers
+(:meth:`~repro.core.LtrSystem.notify_fault`) are notified — that is the
+hook the convergence checker (:mod:`repro.check`) snapshots on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import ConfigurationError, ReproError
+from .plan import FaultEvent, FaultPlan
+
+
+class Nemesis:
+    """Injects one fault plan into one running system."""
+
+    def __init__(self, system, plan: FaultPlan, *, strict: bool = False) -> None:
+        self.system = system
+        self.plan = plan
+        #: When ``True``, an action failure propagates out of the run; by
+        #: default it is recorded in :attr:`errors` and the plan continues
+        #: (a crash racing a departure is part of the chaos, not a bug).
+        self.strict = strict
+        self.started_at: Optional[float] = None
+        self.applied: list[tuple[float, str]] = []
+        self.errors: list[tuple[float, str, str]] = []
+
+    # ------------------------------------------------------------ surface --
+    # The helper surface fault actions program against.
+
+    @property
+    def runtime(self):
+        return self.system.runtime
+
+    @property
+    def ring(self):
+        return self.system.ring
+
+    @property
+    def network(self):
+        return self.system.network
+
+    def node(self, name: str):
+        """The Chord node object of ``name`` (alive or not)."""
+        return self.ring.node(name)
+
+    def live_gateway(self, *, exclude: frozenset | set = frozenset()):
+        """The first live node (ring order) outside ``exclude``; ``None`` if none.
+
+        Ring order makes the choice deterministic for a given membership,
+        which keeps replayed plans byte-identical.
+        """
+        for node in self.ring.live_nodes():
+            if node.address.name not in exclude:
+                return node
+        return None
+
+    def clear_route_caches(self) -> None:
+        """Drop every node's cached routes (membership-shaped fault)."""
+        self.ring.clear_route_caches()
+
+    def forget_user(self, name: str) -> None:
+        """Detach the user peer running on ``name`` (its host is going away)."""
+        self.system.forget_user(name)
+
+    def spawn(self, generator, *, name: str):
+        """Run a protocol process in the background of the advancing run.
+
+        The process is supervised: a failure inside it (e.g. a re-join whose
+        gateway vanished mid-handshake) is recorded in :attr:`errors` under
+        the spawning action's name — the same contract as synchronous action
+        failures — instead of disappearing into the runtime's crashed-process
+        bookkeeping.  Under ``strict=True`` the failure is re-raised inside
+        the process after being recorded.
+        """
+        return self.runtime.process(self._supervise(generator, name), name=name)
+
+    def _supervise(self, generator, name: str):
+        try:
+            result = yield from generator
+            return result
+        except ReproError as error:
+            self.errors.append((self.runtime.now, name, str(error)))
+            if self.strict:
+                raise
+
+    # ---------------------------------------------------------- execution --
+
+    def start(self, *, at: float = 0.0) -> "Nemesis":
+        """Schedule the whole plan, offset ``at`` seconds from now."""
+        if self.started_at is not None:
+            raise ConfigurationError("this nemesis has already been started")
+        if at < 0:
+            raise ConfigurationError(f"start offset must be >= 0, got {at}")
+        self.started_at = self.runtime.now + at
+        for event in self.plan.events:
+            self.runtime.call_later(at + event.at, self._fire, event)
+        return self
+
+    def _fire(self, event: FaultEvent) -> None:
+        label = event.action.describe()
+        try:
+            event.action.apply(self)
+            self.applied.append((self.runtime.now, label))
+        except ReproError as error:
+            if self.strict:
+                raise
+            self.errors.append((self.runtime.now, label, str(error)))
+        self.system.notify_fault(
+            label, {"time": self.runtime.now, "kind": event.action.kind}
+        )
+
+    # ------------------------------------------------------------- report --
+
+    def record(self) -> dict[str, Any]:
+        """Deterministic record of what was injected (for artifacts/tests)."""
+        return {
+            "started_at": self.started_at,
+            "plan": self.plan.describe(),
+            "applied": [list(entry) for entry in self.applied],
+            "errors": [list(entry) for entry in self.errors],
+        }

@@ -35,6 +35,12 @@ class TimestampAuthority(NodeService):
     def __init__(self, ht: Optional[SaltedHash] = None) -> None:
         super().__init__()
         self._ht = ht
+        #: Extra delay, in seconds, before an updated counter is pushed to
+        #: the successor replicas.  0 (the default) replicates immediately;
+        #: the fault-injection layer (:mod:`repro.faults`) raises it to model
+        #: a Master whose *-Succ* backups lag behind the authoritative
+        #: counter — the window in which a crash loses recent timestamps.
+        self.replica_lag = 0.0
         self.generated = 0
         self.allocations = 0
         self.range_allocations = 0
@@ -87,6 +93,16 @@ class TimestampAuthority(NodeService):
             raise RuntimeError("TimestampAuthority is not attached to a node")
         return self.node
 
+    def _replicate_counter(self, item) -> None:
+        """Push the updated counter to the successor replicas (maybe lagged)."""
+        node = self._node()
+        if self.replica_lag > 0.0:
+            node.runtime.call_later(
+                self.replica_lag, lambda _value: node._push_replicas([item])
+            )
+        else:
+            node._push_replicas([item])
+
     # -- RPC handlers (the KTS operations of the paper) --------------------------
 
     def gen_ts(self, key: str) -> int:
@@ -121,7 +137,7 @@ class TimestampAuthority(NodeService):
         # Pin the placement identifier so churn-driven key transfer moves the
         # counter together with the responsibility for ht(key).
         item.key_id = self.placement_id(key)
-        node._push_replicas([item])
+        self._replicate_counter(item)
         self.generated += count
         self.allocations += 1
         if count > 1:
@@ -173,7 +189,7 @@ class TimestampAuthority(NodeService):
             now=node.runtime.now,
             key_id=self.placement_id(key),
         )
-        node._push_replicas([item])
+        self._replicate_counter(item)
         return value
 
     def expect_ts(self, key: str, proposed: int) -> int:

@@ -13,6 +13,7 @@ from .failures import (
     LossModel,
     NoLoss,
     PartitionManager,
+    PerturbationWindow,
     TargetedLoss,
 )
 from .latency import (
@@ -43,6 +44,7 @@ __all__ = [
     "NoLoss",
     "PairwiseLatency",
     "PartitionManager",
+    "PerturbationWindow",
     "RpcAgent",
     "SiteAwareLatency",
     "TargetedLoss",

@@ -131,6 +131,51 @@ class PartitionManager:
         return source_group == destination_group
 
 
+@dataclass(frozen=True)
+class PerturbationWindow:
+    """Transient message-level disturbances applied while a nemesis burst runs.
+
+    A window is installed on the :class:`~repro.net.transport.Network` by the
+    fault-injection layer (:mod:`repro.faults`) and removed when the burst
+    ends.  While active, every message that survived the permanent loss model
+    and the partition check is additionally subjected to:
+
+    * an extra independent drop with probability ``drop_probability``,
+    * duplication with probability ``duplicate_probability`` (the copy is
+      delivered after its own sampled latency, modelling retransmission
+      storms), and
+    * a uniform extra delay in ``[0, reorder_jitter]`` seconds, which
+      reorders messages whose base latencies are close together.
+
+    All draws come from a dedicated ``net.perturb`` RNG stream, so installing
+    a window never changes the draws of the base latency/loss streams — runs
+    without faults stay byte-identical to historical artifacts.
+    """
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    reorder_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "duplicate_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.reorder_jitter < 0.0:
+            raise ValueError(
+                f"reorder_jitter must be >= 0, got {self.reorder_jitter}"
+            )
+
+    @property
+    def quiet(self) -> bool:
+        """``True`` when the window perturbs nothing (all knobs zero)."""
+        return (
+            self.drop_probability == 0.0
+            and self.duplicate_probability == 0.0
+            and self.reorder_jitter == 0.0
+        )
+
+
 @dataclass
 class FailureSchedule:
     """A scripted sequence of crash / leave / join actions.

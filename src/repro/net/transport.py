@@ -15,7 +15,7 @@ from typing import Dict, Optional, Protocol
 from ..errors import NetworkError
 from ..runtime import Runtime
 from .address import Address
-from .failures import LossModel, NoLoss, PartitionManager
+from .failures import LossModel, NoLoss, PartitionManager, PerturbationWindow
 from .latency import ConstantLatency, LatencyModel
 from .message import DeliveryReceipt, Message, TrafficStats
 
@@ -58,6 +58,8 @@ class Network:
         self.latency = latency if latency is not None else ConstantLatency(0.01)
         self.loss = loss if loss is not None else NoLoss()
         self.partitions = PartitionManager()
+        self.perturbation: Optional[PerturbationWindow] = None
+        self.perturb_stats = {"dropped": 0, "duplicated": 0, "jittered": 0}
         self.stats = TrafficStats()
         if default_timeout is None:
             default_timeout = max(0.5, self.latency.mean() * 50.0)
@@ -85,6 +87,22 @@ class Network:
     def _loss_rng(self):
         """The loss stream, resolved per use (see :attr:`_latency_rng`)."""
         return self.runtime.rng.stream("net.loss")
+
+    @property
+    def _perturb_rng(self):
+        """The perturbation stream, only ever drawn from while a window is
+        active, so fault-free runs keep their historical RNG sequences."""
+        return self.runtime.rng.stream("net.perturb")
+
+    # -- perturbation windows -------------------------------------------------
+
+    def begin_perturbation(self, window: PerturbationWindow) -> None:
+        """Install a transient disturbance window (nemesis burst)."""
+        self.perturbation = window
+
+    def end_perturbation(self) -> None:
+        """Remove the active disturbance window; traffic is clean again."""
+        self.perturbation = None
 
     # -- membership ---------------------------------------------------------
 
@@ -148,6 +166,32 @@ class Network:
         delay = self.latency.sample(self._latency_rng, message.source, message.destination)
         if delay < 0:
             raise NetworkError(f"latency model produced negative delay {delay}")
+        window = self.perturbation
+        if window is not None and not window.quiet:
+            rng = self._perturb_rng
+            if window.drop_probability > 0.0 and rng.random() < window.drop_probability:
+                self.perturb_stats["dropped"] += 1
+                self.stats.record_dropped(message)
+                return DeliveryReceipt(message, False, None, "perturbed")
+            if (
+                window.duplicate_probability > 0.0
+                and rng.random() < window.duplicate_probability
+            ):
+                # The copy pays its own latency draw, so it usually arrives
+                # out of order with the original — duplication and reordering
+                # in one mechanism, exactly what retransmission storms do.
+                # Sampled from the perturbation stream: the base latency
+                # stream must see the same draw sequence with or without a
+                # window installed (two plans differing only in a duplicate
+                # burst stay comparable).
+                copy_delay = self.latency.sample(
+                    rng, message.source, message.destination
+                )
+                self.perturb_stats["duplicated"] += 1
+                self.runtime.call_later(max(copy_delay, 0.0), self._deliver, message)
+            if window.reorder_jitter > 0.0:
+                self.perturb_stats["jittered"] += 1
+                delay += rng.random() * window.reorder_jitter
         self.runtime.call_later(delay, self._deliver, message)
         return DeliveryReceipt(message, True, delay)
 

@@ -304,3 +304,83 @@ def test_ring_route_cache_stats_aggregate():
     stats = ring.route_cache_stats()
     assert stats["hits"] >= 1
     assert 0.0 < stats["hit_fraction"] <= 1.0
+
+
+# ------------------------------------------------------- partition windows --
+
+
+def warm_cached_route(ring: ChordRing, key: str):
+    """Warm one gateway's cache for ``key``; returns (gateway node, target id).
+
+    The second lookup must already be served from the cache, which the
+    regression tests below then subject to a partition window.
+    """
+    from repro.chord.hashing import hash_to_id
+
+    via = far_gateway(ring, key)
+    gateway = ring.node(via)
+    ring.lookup(key, via=via)
+    answer = ring.lookup(key, via=via)
+    assert answer.get("cached") is True, "second lookup must hit the cache"
+    return gateway, hash_to_id(key, ring.config.bits)
+
+
+def test_cached_route_not_served_while_owner_partitioned_away():
+    """Regression: a cached route must not answer across a partition.
+
+    Before the fix, ``_cached_route`` only checked that the owner was
+    *registered* — a partitioned-away owner is registered but unreachable,
+    so the gateway kept answering lookups with a peer it could not talk to
+    (and the subsequent store/fetch RPC burned a timeout)."""
+    ring = build_ring(8)
+    key = "partition-window-key"
+    gateway, target = warm_cached_route(ring, key)
+    # Cut the gateway off from everyone (owner included).
+    ring.network.partitions.split([[gateway.address]])
+    assert gateway._cached_route(target) is None, (
+        "cached route served although the owner is unreachable"
+    )
+
+
+def test_cached_route_learned_before_partition_is_not_served_after_heal():
+    """Regression: the fault-window entry is purged, not merely skipped.
+
+    The gateway's side of a partition reorganizes responsibility while the
+    entry sits in the cache; an entry that merely *hid* during the window
+    would resurface after the heal and misroute until its TTL (5 s in this
+    configuration) expired.  Observing the owner unreachable inside the
+    window must remove the entry, so the first post-heal lookup goes back
+    through the finger chain."""
+    ring = build_ring(8)
+    key = "post-heal-key"
+    gateway, target = warm_cached_route(ring, key)
+    ring.network.partitions.split([[gateway.address]])
+    assert gateway._cached_route(target) is None  # the fault-window observation
+    ring.network.partitions.heal()
+    # Well within the TTL: a surviving entry would still be considered fresh.
+    assert gateway.route_cache.lookup(target, ring.sim.now) is None, (
+        "pre-partition route survived the heal"
+    )
+    # The first post-heal lookup cannot be answered from the gateway's own
+    # cache (hops 0) any more; it re-routes and lands on the right owner.
+    answer = ring.lookup(key, via=gateway.address.name)
+    assert answer["hops"] >= 1
+    assert answer["node"] == ring.responsible_node(key).ref
+
+
+def test_unaffected_cached_routes_survive_a_partition_elsewhere():
+    """Only routes crossing the partition are purged; same-side entries stay."""
+    ring = build_ring(8)
+    key = "same-side-key"
+    gateway, target = warm_cached_route(ring, key)
+    owner = ring.responsible_node(key)
+    # Partition some *other* single peer away (neither gateway nor owner).
+    bystander = next(
+        node for node in ring.live_nodes()
+        if node is not gateway and node is not owner
+    )
+    ring.network.partitions.split([[bystander.address]])
+    cached = gateway._cached_route(target)
+    assert cached is not None and cached[1] == owner.ref, (
+        "a partition not involving the cached owner must not purge the route"
+    )

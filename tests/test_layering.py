@@ -34,10 +34,12 @@ ALLOWED_DEPENDENCIES: dict[str, set[str]] = {
     "app": {"errors", "runtime", "core", "ot"},
     "workloads": {"errors", "runtime", "net"},
     "metrics": {"errors", "runtime"},
-    "engine": {"errors", "runtime", "net", "chord", "core", "metrics"},
+    "faults": {"errors", "runtime", "net"},
+    "check": {"errors", "runtime", "ot", "kts", "p2plog", "core"},
+    "engine": {"errors", "runtime", "net", "chord", "core", "metrics", "faults"},
     "experiments": {
         "errors", "runtime", "net", "chord", "dht", "kts", "core",
-        "baselines", "workloads", "metrics", "engine",
+        "baselines", "workloads", "metrics", "engine", "faults", "check",
     },
 }
 

@@ -1,0 +1,270 @@
+"""Property-based TP1/convergence tests for ``repro.ot.transform``.
+
+Complements the hypothesis properties in ``test_ot.py`` (whose document
+strategy never generates the empty document) with:
+
+* a *seeded, shrink-friendly* generator: every failure is re-shrunk to a
+  minimal ``(lines, op_a, op_b)`` counterexample and reported with the seed
+  that reproduces it, so a regression is diagnosable from the assertion
+  message alone;
+* empty-document coverage (inserts against ``[]`` — the state every
+  replica starts from);
+* the named edge geometries: adjacent inserts, same-position insert ties,
+  overlapping/adjacent deletes and delete-vs-insert off-by-one positions.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ot import DeleteLine, InsertLine, NoOp
+from repro.ot.transform import transform, transform_pair, transform_sequences
+
+# ------------------------------------------------------------ TP1 helper --
+
+
+def tp1_states(lines, op_a, op_b):
+    """Both sides of the TP1 equation for concurrent ``op_a`` / ``op_b``."""
+    path_one = transform(op_b, op_a).apply(op_a.apply(lines))
+    path_two = transform(op_a, op_b).apply(op_b.apply(lines))
+    return path_one, path_two
+
+
+def assert_tp1(lines, op_a, op_b, context=""):
+    path_one, path_two = tp1_states(lines, op_a, op_b)
+    assert path_one == path_two, (
+        f"TP1 violated {context}: lines={lines!r} a={op_a.describe()} "
+        f"b={op_b.describe()} -> {path_one!r} != {path_two!r}"
+    )
+
+
+# ------------------------------------------- seeded shrink-friendly sweep --
+
+
+def random_operation(rng: random.Random, lines, origin: str):
+    """One valid operation against ``lines`` (inserts only when empty)."""
+    if lines and rng.random() < 0.45:
+        position = rng.randrange(len(lines))
+        return DeleteLine(position, lines[position], origin=origin)
+    position = rng.randint(0, len(lines))
+    return InsertLine(position, f"{origin}-{rng.randrange(3)}", origin=origin)
+
+
+def clamp_operation(op, lines):
+    """Re-fit an operation to a shrunk document; ``None`` when impossible."""
+    if isinstance(op, InsertLine):
+        return InsertLine(min(op.position, len(lines)), op.line, origin=op.origin)
+    if isinstance(op, DeleteLine):
+        if not lines:
+            return None
+        position = min(op.position, len(lines) - 1)
+        return DeleteLine(position, lines[position], origin=op.origin)
+    return op
+
+
+def shrink_counterexample(lines, op_a, op_b):
+    """Greedy shrink: drop document lines, then pull positions towards 0.
+
+    Keeps only transformations that still violate TP1, so the reported
+    counterexample is locally minimal — the hand-rolled analogue of what
+    hypothesis does, for the seeded sweep below.
+    """
+
+    def violates(candidate):
+        candidate_lines, a, b = candidate
+        if a is None or b is None:
+            return False
+        one, two = tp1_states(candidate_lines, a, b)
+        return one != two
+
+    current = (lines, op_a, op_b)
+    changed = True
+    while changed:
+        changed = False
+        current_lines, a, b = current
+        for index in range(len(current_lines)):
+            shrunk_lines = current_lines[:index] + current_lines[index + 1:]
+            candidate = (
+                shrunk_lines,
+                clamp_operation(a, shrunk_lines),
+                clamp_operation(b, shrunk_lines),
+            )
+            if violates(candidate):
+                current, changed = candidate, True
+                break
+        if changed:
+            continue
+        for which in (1, 2):
+            op = current[which]
+            if getattr(op, "position", 0) > 0:
+                moved = clamp_operation(
+                    type(op)(op.position - 1, op.line, origin=op.origin),
+                    current[0],
+                )
+                candidate = (
+                    (current[0], moved, current[2])
+                    if which == 1 else (current[0], current[1], moved)
+                )
+                if violates(candidate):
+                    current, changed = candidate, True
+                    break
+    return current
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_tp1_seeded_sweep_with_shrinking(seed):
+    """400 random op pairs per seed; failures are shrunk before reporting."""
+    rng = random.Random(seed)
+    for round_index in range(400):
+        length = rng.randrange(0, 7)  # includes the empty document
+        lines = [f"line-{index}" for index in range(length)]
+        op_a = random_operation(rng, lines, "site-a")
+        op_b = random_operation(rng, lines, "site-b")
+        one, two = tp1_states(lines, op_a, op_b)
+        if one != two:
+            shrunk_lines, a, b = shrink_counterexample(lines, op_a, op_b)
+            pytest.fail(
+                f"TP1 violated (seed={seed}, round={round_index}); minimal "
+                f"counterexample: lines={shrunk_lines!r} "
+                f"a={a.describe()} b={b.describe()}"
+            )
+
+
+# --------------------------------------------- hypothesis incl. empty doc --
+
+MAYBE_EMPTY_LINES = st.lists(
+    st.sampled_from(["alpha", "beta", "gamma", "delta"]), min_size=0, max_size=5
+)
+
+
+def operations_for(lines, origin):
+    length = len(lines)
+    inserts = st.builds(
+        InsertLine,
+        position=st.integers(min_value=0, max_value=length),
+        line=st.sampled_from(["new-1", "new-2"]),
+        origin=st.just(origin),
+    )
+    if length == 0:
+        return inserts
+    deletes = st.builds(
+        lambda position: DeleteLine(position, lines[position], origin=origin),
+        position=st.integers(min_value=0, max_value=length - 1),
+    )
+    return st.one_of(inserts, deletes, st.just(NoOp(origin=origin)))
+
+
+@given(data=st.data(), lines=MAYBE_EMPTY_LINES)
+@settings(max_examples=300)
+def test_tp1_holds_from_the_empty_document_upward(data, lines):
+    op_a = data.draw(operations_for(lines, "site-a"), label="op_a")
+    op_b = data.draw(operations_for(lines, "site-b"), label="op_b")
+    assert_tp1(lines, op_a, op_b)
+
+
+@given(data=st.data(), lines=MAYBE_EMPTY_LINES)
+@settings(max_examples=150)
+def test_transform_pair_is_consistent_with_pairwise_transform(data, lines):
+    op_a = data.draw(operations_for(lines, "site-a"))
+    op_b = data.draw(operations_for(lines, "site-b"))
+    a_prime, b_prime = transform_pair(op_a, op_b)
+    assert a_prime == transform(op_a, op_b)
+    assert b_prime == transform(op_b, op_a)
+
+
+@given(data=st.data())
+@settings(max_examples=150)
+def test_tp1_sequences_converge_from_empty_document(data):
+    """Sequence convergence where both sites start from ``[]``."""
+
+    def sequence_for(origin):
+        current: list[str] = []
+        ops = []
+        for _ in range(data.draw(st.integers(min_value=1, max_value=3))):
+            op = data.draw(operations_for(current, origin))
+            ops.append(op)
+            current = op.apply(current)
+        return ops
+
+    ours = sequence_for("site-a")
+    theirs = sequence_for("site-b")
+    ours_prime, theirs_prime = transform_sequences(ours, theirs)
+
+    state_one: list[str] = []
+    for op in ours + theirs_prime:
+        state_one = op.apply(state_one)
+    state_two: list[str] = []
+    for op in theirs + ours_prime:
+        state_two = op.apply(state_two)
+    assert state_one == state_two
+
+
+# ----------------------------------------------------- directed edge cases --
+
+
+def test_empty_document_insert_tie_break_converges():
+    """Both sites insert at position 0 of an empty document."""
+    op_a = InsertLine(0, "from-a", origin="site-a")
+    op_b = InsertLine(0, "from-b", origin="site-b")
+    assert_tp1([], op_a, op_b, context="(empty document)")
+    one, _ = tp1_states([], op_a, op_b)
+    assert sorted(one) == ["from-a", "from-b"]
+
+
+def test_empty_document_same_origin_same_line_tie():
+    """Degenerate tie: identical inserts must still converge (not drop one)."""
+    op_a = InsertLine(0, "same", origin="site")
+    op_b = InsertLine(0, "same", origin="site")
+    assert_tp1([], op_a, op_b, context="(identical inserts)")
+    one, _ = tp1_states([], op_a, op_b)
+    assert one == ["same", "same"]
+
+
+@pytest.mark.parametrize("first", [0, 1, 2])
+def test_adjacent_inserts_converge_and_keep_both_lines(first):
+    """Inserts at ``p`` and ``p + 1`` — the off-by-one shift edge."""
+    lines = ["alpha", "beta", "gamma"]
+    op_a = InsertLine(first, "from-a", origin="site-a")
+    op_b = InsertLine(first + 1, "from-b", origin="site-b")
+    assert_tp1(lines, op_a, op_b, context="(adjacent inserts)")
+    one, _ = tp1_states(lines, op_a, op_b)
+    assert len(one) == 5 and "from-a" in one and "from-b" in one
+    assert one.index("from-a") < one.index("from-b")
+
+
+def test_overlapping_deletes_cancel_exactly_once():
+    """Both sites delete the same line: it vanishes once, not twice."""
+    lines = ["alpha", "beta", "gamma"]
+    op_a = DeleteLine(1, "beta", origin="site-a")
+    op_b = DeleteLine(1, "beta", origin="site-b")
+    assert transform(op_a, op_b) == NoOp(origin="site-a")
+    assert transform(op_b, op_a) == NoOp(origin="site-b")
+    assert_tp1(lines, op_a, op_b, context="(overlapping deletes)")
+    one, _ = tp1_states(lines, op_a, op_b)
+    assert one == ["alpha", "gamma"]
+
+
+@pytest.mark.parametrize("positions", [(0, 1), (1, 0), (1, 2), (2, 1)])
+def test_adjacent_deletes_remove_both_lines(positions):
+    """Deletes at adjacent positions — each must shift for the other."""
+    lines = ["alpha", "beta", "gamma"]
+    pos_a, pos_b = positions
+    op_a = DeleteLine(pos_a, lines[pos_a], origin="site-a")
+    op_b = DeleteLine(pos_b, lines[pos_b], origin="site-b")
+    assert_tp1(lines, op_a, op_b, context="(adjacent deletes)")
+    one, _ = tp1_states(lines, op_a, op_b)
+    assert one == [line for index, line in enumerate(lines)
+                   if index not in positions]
+
+
+@pytest.mark.parametrize("insert_at", [0, 1, 2, 3])
+def test_delete_vs_insert_all_relative_positions(insert_at):
+    """Insert against a concurrent delete at every relative offset."""
+    lines = ["alpha", "beta", "gamma"]
+    op_a = DeleteLine(1, "beta", origin="site-a")
+    op_b = InsertLine(insert_at, "new", origin="site-b")
+    assert_tp1(lines, op_a, op_b, context="(delete vs insert)")
+    one, _ = tp1_states(lines, op_a, op_b)
+    assert "new" in one and "beta" not in one
