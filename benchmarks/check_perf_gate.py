@@ -1,0 +1,147 @@
+"""Performance gate: re-run experiments and diff headlines vs. committed baselines.
+
+Each ``benchmarks/artifacts/BENCH_<id>.json`` snapshot (written by
+``benchmarks/run_all.py``) carries the headline metrics of one experiment.
+This gate re-runs a set of experiments with the same quick parameters and
+fails when any headline metric drifts by more than the tolerance band from
+the committed value — the CI ``perf-gate`` job runs it on every PR so a
+kernel or protocol change cannot silently regress latency, hop counts or
+throughput::
+
+    PYTHONPATH=src python benchmarks/check_perf_gate.py --only E8 E11 E12 E13 E14
+
+Deterministic simulated metrics normally reproduce *exactly*; the default
+20% band exists so small intentional shifts fail loudly (refresh the
+snapshot with ``run_all.py`` when the shift is intended, and the diff
+becomes part of the PR).  Wall-clock-dependent metrics — anything measured
+in host seconds or host memory (``per_sec``, ``rss``, names with ``wall``,
+and everything in E13, which runs on the asyncio backend) — get a wide
+band since they vary by machine.  Deviations are checked symmetrically: a
+20% *improvement* also fails, because it means the committed baseline no
+longer describes the code and should be refreshed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.engine import headline_metrics
+from repro.experiments import SPEC_FACTORIES, run_experiment
+
+#: Experiments whose every metric is wall-clock-dependent (live backends).
+WALL_CLOCK_EXPERIMENTS = frozenset({"E13"})
+
+#: Headline-name fragments marking a metric as host-machine-dependent.
+WALL_CLOCK_TAGS = ("wall", "per_sec", "per_s", "rss")
+
+
+def tolerance_for(experiment_id: str, metric: str, *, base: float, wide: float) -> float:
+    """The allowed relative deviation for one headline metric."""
+    if experiment_id in WALL_CLOCK_EXPERIMENTS:
+        return wide
+    if any(tag in metric for tag in WALL_CLOCK_TAGS):
+        return wide
+    return base
+
+
+def compare_headlines(
+    experiment_id: str,
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    *,
+    base: float,
+    wide: float,
+) -> list[str]:
+    """Every violation (missing metric or out-of-band deviation) as text."""
+    problems: list[str] = []
+    for metric in sorted(set(baseline) | set(fresh)):
+        if metric not in fresh:
+            problems.append(f"{experiment_id}: metric {metric!r} disappeared "
+                            f"(baseline {baseline[metric]:.6g})")
+            continue
+        if metric not in baseline:
+            problems.append(f"{experiment_id}: new metric {metric!r} has no "
+                            f"committed baseline (got {fresh[metric]:.6g})")
+            continue
+        expected, actual = baseline[metric], fresh[metric]
+        band = tolerance_for(experiment_id, metric, base=base, wide=wide)
+        if expected == 0:
+            deviation = abs(actual)
+        else:
+            deviation = abs(actual - expected) / abs(expected)
+        if deviation > band:
+            problems.append(
+                f"{experiment_id}: {metric} = {actual:.6g} deviates "
+                f"{deviation:.1%} from baseline {expected:.6g} "
+                f"(allowed {band:.0%})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baselines", metavar="DIR", default="benchmarks/artifacts",
+                        help="directory holding the committed BENCH_<id>.json files")
+    parser.add_argument("--only", nargs="*", default=None, metavar="ID",
+                        help="experiment ids to gate (default: all with a baseline)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="relative band for deterministic metrics (default 0.20)")
+    parser.add_argument("--wide-tolerance", type=float, default=0.75,
+                        help="relative band for wall-clock metrics (default 0.75)")
+    arguments = parser.parse_args(argv)
+
+    baseline_dir = Path(arguments.baselines)
+    available = {
+        path.stem.removeprefix("BENCH_"): path
+        for path in sorted(baseline_dir.glob("BENCH_*.json"))
+    }
+    selected = arguments.only if arguments.only else sorted(available, key=_spec_order)
+    missing = [experiment_id for experiment_id in selected
+               if experiment_id not in available]
+    if missing:
+        parser.error(f"no committed baseline for {missing} in {baseline_dir}; "
+                     f"run benchmarks/run_all.py first")
+    unknown = [experiment_id for experiment_id in selected
+               if experiment_id not in SPEC_FACTORIES]
+    if unknown:
+        parser.error(f"unknown experiment ids {unknown}; known: {list(SPEC_FACTORIES)}")
+
+    failures: list[str] = []
+    for experiment_id in selected:
+        payload = json.loads(available[experiment_id].read_text())
+        if payload.get("profile", "quick") != "quick":
+            parser.error(f"{available[experiment_id]} was snapshotted with the "
+                         f"{payload['profile']!r} profile; the gate re-runs quick "
+                         f"parameters, so refresh it without --full")
+        run = run_experiment(experiment_id, quick=True)
+        fresh = headline_metrics(run.result)
+        problems = compare_headlines(
+            experiment_id, payload["headline"], fresh,
+            base=arguments.tolerance, wide=arguments.wide_tolerance,
+        )
+        status = "FAIL" if problems else "ok"
+        print(f"{experiment_id}: {status} ({len(payload['headline'])} metrics)")
+        for problem in problems:
+            print(f"  {problem}")
+        failures.extend(problems)
+
+    if failures:
+        print(f"\nperf gate FAILED: {len(failures)} metric(s) out of band "
+              f"(refresh baselines with benchmarks/run_all.py if intended)",
+              file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+def _spec_order(experiment_id: str) -> int:
+    """Registration order for known ids; unknown ids sort last."""
+    known = list(SPEC_FACTORIES)
+    return known.index(experiment_id) if experiment_id in known else len(known)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

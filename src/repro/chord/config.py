@@ -51,6 +51,19 @@ class ChordConfig:
         Lifetime of a cached route in simulated seconds; it should stay a
         small multiple of ``stabilize_interval`` so stale routes die out at
         the same pace the ring repairs itself.
+    maintenance_stagger:
+        Fraction of each maintenance interval used to spread the *first*
+        firing of a node's maintenance timers, by a deterministic per-node
+        phase derived from the ring identifier.  ``0.0`` (the default)
+        fires every node's timers in lock-step — the historical behaviour,
+        kept for byte-identical seeded artifacts; ``1.0`` spreads first
+        firings across a full interval so a 10^5-peer ring does not dump
+        every stabilize round into one simulated instant.
+    fingers_per_round:
+        Number of finger-table entries repaired per ``fix_fingers`` round.
+        The classic protocol fixes one per round; large rings raise this so
+        routing tables converge in ``bits / fingers_per_round`` rounds
+        without shortening the interval (which would multiply timer load).
     """
 
     bits: int = DEFAULT_ID_BITS
@@ -65,6 +78,8 @@ class ChordConfig:
     route_cache_enabled: bool = True
     route_cache_size: int = 128
     route_cache_ttl: float = 1.0
+    maintenance_stagger: float = 0.0
+    fingers_per_round: int = 1
 
     def __post_init__(self) -> None:
         if self.bits <= 0:
@@ -93,3 +108,11 @@ class ChordConfig:
             )
         if self.route_cache_ttl <= 0:
             raise ConfigurationError("route_cache_ttl must be positive")
+        if self.maintenance_stagger < 0:
+            raise ConfigurationError(
+                f"maintenance_stagger must be >= 0, got {self.maintenance_stagger}"
+            )
+        if self.fingers_per_round < 1:
+            raise ConfigurationError(
+                f"fingers_per_round must be >= 1, got {self.fingers_per_round}"
+            )

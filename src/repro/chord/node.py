@@ -617,23 +617,54 @@ class ChordNode:
     def _maintenance_active(self, epoch: int) -> bool:
         return self.alive and self._maintenance_epoch == epoch
 
+    def _maintenance_phase(self) -> float:
+        """Deterministic per-node phase in ``[0, 1)`` staggering maintenance.
+
+        Derived from the ring identifier (uniform by construction), so two
+        seeded runs stagger identically and no RNG stream is consumed.
+        """
+        return (self.node_id % 8192) / 8192.0
+
+    def _first_delay(self, interval: float) -> float:
+        """Delay before a maintenance loop's first firing.
+
+        With ``maintenance_stagger == 0`` this is exactly ``interval`` —
+        the historical lock-step behaviour, preserved so seeded artifacts
+        stay byte-identical.  With a positive stagger the first firing
+        shifts by up to ``stagger * phase`` intervals, de-synchronizing the
+        per-node loops; subsequent firings keep the plain interval.
+        """
+        stagger = self.config.maintenance_stagger
+        if stagger <= 0.0:
+            return interval
+        return interval * (1.0 + stagger * self._maintenance_phase())
+
     def _stabilize_loop(self, epoch: int):
+        interval = self.config.stabilize_interval
+        delay = self._first_delay(interval)
         while self._maintenance_active(epoch):
-            yield self.runtime.timeout(self.config.stabilize_interval)
+            yield self.runtime.timeout(delay)
+            delay = interval
             if not self._maintenance_active(epoch):
                 break
             yield from self._stabilize_once()
 
     def _fix_fingers_loop(self, epoch: int):
+        interval = self.config.fix_fingers_interval
+        delay = self._first_delay(interval)
         while self._maintenance_active(epoch):
-            yield self.runtime.timeout(self.config.fix_fingers_interval)
+            yield self.runtime.timeout(delay)
+            delay = interval
             if not self._maintenance_active(epoch):
                 break
-            yield from self._fix_one_finger()
+            yield from self._fix_fingers_round()
 
     def _check_predecessor_loop(self, epoch: int):
+        interval = self.config.check_predecessor_interval
+        delay = self._first_delay(interval)
         while self._maintenance_active(epoch):
-            yield self.runtime.timeout(self.config.check_predecessor_interval)
+            yield self.runtime.timeout(delay)
+            delay = interval
             if not self._maintenance_active(epoch):
                 break
             yield from self._check_predecessor_once()
@@ -689,6 +720,19 @@ class ChordNode:
                 self.successors.replace(fallback)
             else:
                 self.successors.replace([self.ref])
+
+    def _fix_fingers_round(self):
+        """Repair ``fingers_per_round`` finger entries (simulation process).
+
+        With the default of one per round this is exactly the classic
+        protocol; batched repair lets scale configurations converge the
+        whole table in ``bits / fingers_per_round`` rounds at unchanged
+        timer frequency.
+        """
+        for _ in range(self.config.fingers_per_round):
+            yield from self._fix_one_finger()
+            if self.successors.head is None or self.successors.head == self.ref:
+                break  # degenerate ring: one fill_with was enough
 
     def _fix_one_finger(self):
         if self.successors.head is None or self.successors.head == self.ref:

@@ -128,14 +128,20 @@ class LtrSystem:
     # -------------------------------------------------------------- membership --
 
     def bootstrap(self, peers: Iterable[str] | int,
-                  *, stabilize_time: Optional[float] = None) -> list[str]:
+                  *, stabilize_time: Optional[float] = None,
+                  warm: bool = False) -> list[str]:
         """Create the DHT ring with the given peers (names or a count).
 
         ``stabilize_time`` bounds the post-join stabilization budget (the
         asyncio backend pays it in wall-clock seconds, so live deployments
-        pass a tight bound).
+        pass a tight bound).  ``warm=True`` wires the converged ring
+        directly (:meth:`~repro.chord.ring.ChordRing.bootstrap_warm`) —
+        the O(N log N) starting point for scale experiments.
         """
-        nodes = self.ring.bootstrap(peers, stabilize_time=stabilize_time)
+        if warm:
+            nodes = self.ring.bootstrap_warm(peers)
+        else:
+            nodes = self.ring.bootstrap(peers, stabilize_time=stabilize_time)
         return [node.address.name for node in nodes]
 
     def peer_names(self) -> list[str]:

@@ -18,7 +18,7 @@ from itertools import count
 from typing import Any, Callable, Dict, Optional
 
 from ..errors import NodeUnreachable, ReproError, RequestTimeout, UnknownRpcMethod
-from ..runtime import Future, Runtime
+from ..runtime import Event, Future, Runtime
 from .address import Address
 from .message import Message, MessageKind
 from .transport import Network
@@ -60,6 +60,7 @@ class RpcAgent:
         self.address = address
         self._handlers: Dict[str, Handler] = {}
         self._pending: Dict[int, Future] = {}
+        self._timers: Dict[int, Event] = {}
         self._request_ids = count(1)
         self._online = False
         network.register(address, self)
@@ -93,6 +94,10 @@ class RpcAgent:
             self.network.unregister(self.address)
         pending = list(self._pending.values())
         self._pending.clear()
+        timers = list(self._timers.values())
+        self._timers.clear()
+        for timer in timers:
+            timer.cancel()
         for future in pending:
             if not future.triggered:
                 future.fail(NodeUnreachable(f"{self.address} went offline"))
@@ -165,8 +170,10 @@ class RpcAgent:
 
         effective_timeout = timeout if timeout is not None else self.network.default_timeout
         timeout_event = self.runtime.timeout(effective_timeout)
+        self._timers[request_id] = timeout_event
 
         def on_timeout(_event: Any) -> None:
+            self._timers.pop(request_id, None)
             pending = self._pending.pop(request_id, None)
             if pending is not None and not pending.triggered:
                 pending.fail(
@@ -236,6 +243,12 @@ class RpcAgent:
 
     def _handle_response(self, message: Message) -> None:
         future = self._pending.pop(message.request_id, None)
+        timer = self._timers.pop(message.request_id, None)
+        if timer is not None:
+            # The request settled: retract its watchdog instead of leaving a
+            # dead timer in the scheduler until it expires (tombstoned; the
+            # kernel compacts them — see repro.sim.scheduler).
+            timer.cancel()
         if future is None or future.triggered:
             return  # response arrived after the timeout already fired
         if message.is_error:

@@ -131,7 +131,7 @@ class AsyncioRuntime(EventPrimitivesMixin):
         (suspended generators being finalized, stragglers of a shut-down
         deployment) can no longer reach anything that matters.
         """
-        if event._scheduled:
+        if event._scheduled or event._cancelled:
             return
         event._scheduled = True
         if self._closed:
@@ -139,6 +139,8 @@ class AsyncioRuntime(EventPrimitivesMixin):
         self._loop.call_later(max(0.0, delay), self._dispatch, event)
 
     def _dispatch(self, event: Event) -> None:
+        if event._cancelled:
+            return  # lazily cancelled: the loop timer fires into a no-op
         callbacks = event.callbacks
         event.callbacks = None
         self._processed_events += 1

@@ -35,7 +35,7 @@ class Event:
         event's callbacks once it has been triggered and scheduled.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_cancelled")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -43,6 +43,7 @@ class Event:
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._scheduled = False
+        self._cancelled = False
 
     # -- state ------------------------------------------------------------
 
@@ -60,6 +61,11 @@ class Event:
     def ok(self) -> bool:
         """``True`` if the event succeeded (only meaningful once triggered)."""
         return bool(self._ok)
+
+    @property
+    def cancelled(self) -> bool:
+        """``True`` once the event has been cancelled (callbacks never run)."""
+        return self._cancelled
 
     @property
     def value(self) -> Any:
@@ -98,6 +104,28 @@ class Event:
         self.sim.schedule(self)
         return self
 
+    def cancel(self) -> bool:
+        """Lazily cancel the event: its callbacks will never run.
+
+        Cancellation is the cheap retraction path for timers whose outcome
+        became irrelevant (an RPC timeout whose response arrived, a watchdog
+        for work that finished).  A cancelled event that sits in a runtime's
+        queue becomes a *tombstone*: the scheduler skips it on contact and
+        periodically compacts the queue when tombstones accumulate, so
+        cancel-heavy workloads do not leak memory or pay dispatch costs.
+
+        Only cancel events whose callbacks you own — a process waiting on a
+        cancelled event would never resume.  Returns ``True`` if the event
+        was newly cancelled, ``False`` if it was already cancelled or its
+        callbacks have already been dispatched.
+        """
+        if self._cancelled or self.callbacks is None:
+            return False
+        self._cancelled = True
+        self.callbacks = None
+        self.sim._note_cancel(self)
+        return True
+
     def trigger(self, event: "Event") -> None:
         """Mirror the outcome of another (already triggered) event."""
         if event._ok:
@@ -111,8 +139,11 @@ class Event:
         """Register ``callback`` to run when the event is processed.
 
         If the event has already been processed the callback runs
-        immediately (synchronously).
+        immediately (synchronously).  Callbacks added to a cancelled event
+        are dropped: the event will never be dispatched.
         """
+        if self._cancelled:
+            return
         if self.callbacks is None:
             callback(self)
         else:

@@ -28,6 +28,14 @@ class EventPrimitivesMixin:
         """Create an untriggered :class:`Event` bound to this runtime."""
         return Event(self)
 
+    def _note_cancel(self, event: Event) -> None:
+        """Hook called by :meth:`Event.cancel` for queue accounting.
+
+        The default is a no-op; backends owning an inspectable event queue
+        (the deterministic kernel) override it to count tombstones and
+        trigger compaction.
+        """
+
     def future(self) -> Future:
         """Create an untriggered :class:`Future` bound to this runtime."""
         return Future(self)
