@@ -64,6 +64,13 @@ class ChordConfig:
         The classic protocol fixes one per round; large rings raise this so
         routing tables converge in ``bits / fingers_per_round`` rounds
         without shortening the interval (which would multiply timer load).
+    replica_release:
+        When ``True``, an owner whose replica-holding successors change
+        tells the *dropped* targets to release their replica copies,
+        keeping the "every replica has a live custodial owner" invariant
+        tight under churn.  ``False`` (the default, the historical
+        behaviour — kept for byte-identical seeded artifacts) leaves old
+        copies behind until the holder crashes or hands them off.
     """
 
     bits: int = DEFAULT_ID_BITS
@@ -80,6 +87,7 @@ class ChordConfig:
     route_cache_ttl: float = 1.0
     maintenance_stagger: float = 0.0
     fingers_per_round: int = 1
+    replica_release: bool = False
 
     def __post_init__(self) -> None:
         if self.bits <= 0:

@@ -24,6 +24,7 @@ from ..errors import (
 )
 from ..net import Address, Network, RpcAgent
 from ..runtime import Runtime
+from ..storage import StorageBackend
 from .config import ChordConfig
 from .finger import FingerTable
 from .hashing import hash_to_id
@@ -52,6 +53,10 @@ class ChordNode:
     services:
         Application services hosted by this node (e.g. the P2P-LTR master
         service); see :class:`~repro.chord.services.NodeService`.
+    storage_backend:
+        Persistence for this node's stored items; defaults to the volatile
+        in-memory backend.  A durable backend makes :meth:`restart` with
+        ``recover=True`` meaningful (the peer reloads its data from disk).
     """
 
     def __init__(
@@ -61,6 +66,7 @@ class ChordNode:
         address: Address,
         config: Optional[ChordConfig] = None,
         services: Optional[Iterable[NodeService]] = None,
+        storage_backend: Optional[StorageBackend] = None,
     ) -> None:
         self.runtime = runtime
         self.network = network
@@ -70,7 +76,7 @@ class ChordNode:
         self.ref = NodeRef(self.node_id, address)
 
         self.rpc = RpcAgent(runtime, network, address)
-        self.storage = NodeStorage(self.config.bits)
+        self.storage = NodeStorage(self.config.bits, backend=storage_backend)
         self.fingers = FingerTable(self.node_id, self.config.bits)
         self.successors = SuccessorList(self.node_id, self.config.successor_list_size)
         self.predecessor: Optional[NodeRef] = None
@@ -191,11 +197,16 @@ class ChordNode:
         if successor is not None and successor != self.ref and (owned or replicas):
             try:
                 if owned:
+                    # ``from_owner`` lets the successor accept the ownership
+                    # transfer even though its predecessor pointer still
+                    # names us (we only notify it below, after the data is
+                    # safe).
                     yield self.rpc.call(
                         successor.address,
                         "receive_items",
                         items=owned,
                         as_replica=False,
+                        from_owner=self.ref,
                         timeout=self.config.rpc_timeout,
                     )
                 if replicas:
@@ -232,17 +243,29 @@ class ChordNode:
         self.alive = False
         self.rpc.go_offline(crash=True)
 
-    def restart(self, *, amnesia: bool = False) -> None:
+    def restart(self, *, amnesia: bool = False, recover: bool = False) -> None:
         """Re-register with the network after :meth:`fail` (same identity).
 
         The node must re-join a ring explicitly (:meth:`join` or
-        :meth:`rejoin`).  With ``amnesia=True`` the node also loses its
-        durable state — storage, routing tables, predecessor — modelling a
-        peer that comes back on fresh hardware; by default the restart is
-        state-preserving (only the network endpoint was down).
+        :meth:`rejoin`).  Three flavours:
+
+        * default — state-preserving: only the network endpoint was down;
+        * ``amnesia=True`` — the peer comes back on fresh hardware: storage
+          (including any on-disk database), routing tables and predecessor
+          are all gone;
+        * ``recover=True`` — the peer restarts *as a new process on the
+          same disk*: routing state (in-memory by nature) is gone, but the
+          storage backend is reopened and reloads whatever it persisted.
+          With the volatile default backend this degenerates to amnesia,
+          which is the honest outcome.
         """
-        if amnesia:
-            self.storage = NodeStorage(self.config.bits)
+        if amnesia and recover:
+            raise ValueError("restart cannot be both amnesiac and recovering")
+        if amnesia or recover:
+            if amnesia:
+                self.storage.backend.clear()
+            else:
+                self.storage.reopen()
             self.fingers = FingerTable(self.node_id, self.config.bits)
             self.successors = SuccessorList(
                 self.node_id, self.config.successor_list_size
@@ -579,9 +602,30 @@ class ChordNode:
         if not moving:
             # Fall back to "everything outside (requester, self]" when the
             # predecessor pointer is stale (e.g. it crashed silently).
-            moving = self.storage.extract_interval(self.node_id, requester.node_id)
-        if moving and self.config.replication_factor > 1:
-            self.storage.absorb(moving, as_replica=True, now=self.runtime.now)
+            start = self.node_id
+            moving = self.storage.extract_interval(start, requester.node_id)
+        if self.config.replication_factor > 1:
+            if moving:
+                self.storage.absorb(moving, as_replica=True, now=self.runtime.now)
+                if self.config.replica_release:
+                    # Our own replica targets held backup copies of these keys
+                    # *because we owned them*; the requester owns them now and
+                    # replicates to its own successor set.  Release the old
+                    # copies — a holder that also belongs to the new backup
+                    # set gets the keys re-pushed by the new owner's refresh.
+                    keys = [item.key for item in moving]
+                    for target in self._replica_targets:
+                        if target == requester:
+                            continue
+                        if self.network.is_up(target.address):
+                            self.rpc.notify(
+                                target.address, "release_replicas", keys=keys
+                            )
+        elif start != requester.node_id:
+            # No backup role exists at replication factor 1: any replica left
+            # in the transferred interval would never be refreshed or
+            # reclaimed, shadowing the owner's data forever.
+            self.storage.drop_replicas_in_interval(start, requester.node_id)
         if moving:
             for service in self.services:
                 service.on_items_handed_off(moving, requester.name)
@@ -591,9 +635,34 @@ class ChordNode:
             self.route_cache.clear()
         return moving
 
-    def rpc_receive_items(self, items: list[StoredItem], as_replica: bool = False) -> int:
-        """Accept items pushed by another node (leave hand-off or replication)."""
-        return self._absorb_items(items, as_replica=as_replica)
+    def rpc_receive_items(
+        self,
+        items: list[StoredItem],
+        as_replica: bool = False,
+        from_owner: Optional[NodeRef] = None,
+    ) -> int:
+        """Accept items pushed by another node (leave hand-off or replication).
+
+        ``from_owner`` identifies a departing predecessor handing its keys
+        over; see :meth:`_absorb_items` for how it gates replica promotion.
+        """
+        return self._absorb_items(items, as_replica=as_replica, from_owner=from_owner)
+
+    def rpc_release_replicas(self, keys: list[str]) -> int:
+        """Drop replica copies this node no longer backs up.
+
+        Sent by an owner whose replica targets moved away from us (see
+        :meth:`_refresh_replicas_if_targets_changed`).  Only replicas are
+        dropped — if we own one of these keys by now (e.g. a concurrent
+        takeover), the release is stale and must not destroy data.
+        """
+        released = 0
+        for key in keys:
+            item = self.storage.get(key)
+            if item is not None and item.is_replica:
+                self.storage.remove(key)
+                released += 1
+        return released
 
     # ----------------------------------------------------------- maintenance --
 
@@ -817,7 +886,7 @@ class ChordNode:
             except _UNREACHABLE_ERRORS:
                 continue
             # Keep a backup copy; the owner re-replicates to its successors.
-            item.is_replica = True
+            self.storage.demote_to_replica(item.key)
 
     # ----------------------------------------------------------- replication --
 
@@ -837,10 +906,21 @@ class ChordNode:
         )[:copies_needed]
         if targets == self._replica_targets:
             return
+        dropped = [
+            entry for entry in self._replica_targets if entry not in targets
+        ]
         self._replica_targets = targets
         owned = self.storage.owned_items()
         if owned and targets:
             self._push_replicas(owned)
+        if self.config.replica_release and owned and dropped:
+            # Former replica holders keep stale copies forever otherwise;
+            # tell them to release the keys we own (best-effort — a crashed
+            # holder has no copies left to release).
+            keys = [item.key for item in owned]
+            for former in dropped:
+                if self.network.is_up(former.address):
+                    self.rpc.notify(former.address, "release_replicas", keys=keys)
 
     def _push_replicas(self, items: list[StoredItem]) -> None:
         copies_needed = self.config.replication_factor - 1
@@ -871,8 +951,28 @@ class ChordNode:
                 as_replica=True,
             )
 
-    def _absorb_items(self, items: list[StoredItem], *, as_replica: bool) -> int:
-        absorbed = self.storage.absorb(items, as_replica=as_replica, now=self.runtime.now)
+    def _absorb_items(
+        self,
+        items: list[StoredItem],
+        *,
+        as_replica: bool,
+        from_owner: Optional[NodeRef] = None,
+    ) -> int:
+        may_promote = None
+        if not as_replica:
+            def may_promote(existing: StoredItem) -> bool:
+                # A replayed ownership transfer only promotes our replica if
+                # we actually cover the key — or if the sender is the
+                # predecessor gracefully handing its interval over (it tells
+                # us *before* updating our predecessor pointer).  Without
+                # the gate a stale replay after a concurrent takeover would
+                # mint a second owner for the key.
+                if self.is_responsible_for(existing.key_id):
+                    return True
+                return from_owner is not None and from_owner == self.predecessor
+        absorbed = self.storage.absorb(
+            items, as_replica=as_replica, now=self.runtime.now, may_promote=may_promote
+        )
         if not as_replica:
             # We just became the owner of these items (join hand-off or a
             # departing predecessor's hand-over): immediately restore their

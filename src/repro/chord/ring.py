@@ -16,6 +16,7 @@ from typing import Any, Callable, Iterable, Optional
 from ..errors import DhtError, LookupFailed
 from ..net import Address, ConstantLatency, LatencyModel, Network
 from ..runtime import Runtime, resolve_runtime
+from ..storage import StorageBackend
 from .config import ChordConfig
 from .hashing import hash_to_id
 from .node import ChordNode
@@ -23,6 +24,7 @@ from .refs import NodeRef
 from .services import NodeService
 
 ServiceFactory = Callable[[Address], list[NodeService]]
+StorageFactory = Callable[[str], Optional[StorageBackend]]
 
 
 class ChordRing:
@@ -37,6 +39,7 @@ class ChordRing:
         seed: int = 0,
         latency: Optional[LatencyModel] = None,
         service_factory: Optional[ServiceFactory] = None,
+        storage_factory: Optional[StorageFactory] = None,
         sim: Optional[Runtime] = None,
     ) -> None:
         # ``sim`` is the backward-compatible alias for ``runtime``; the
@@ -51,6 +54,7 @@ class ChordRing:
             )
         self.config = config if config is not None else ChordConfig()
         self.service_factory = service_factory
+        self.storage_factory = storage_factory
         self.nodes: dict[str, ChordNode] = {}
         # Names whose successor/predecessor pointers may disagree with the
         # ideal ring; the incremental stability check only re-examines these.
@@ -69,7 +73,15 @@ class ChordRing:
             raise DhtError(f"a node named {name!r} already exists")
         address = Address(name, site)
         services = self.service_factory(address) if self.service_factory else []
-        node = ChordNode(self.runtime, self.network, address, self.config, services=services)
+        backend = self.storage_factory(name) if self.storage_factory else None
+        node = ChordNode(
+            self.runtime,
+            self.network,
+            address,
+            self.config,
+            services=services,
+            storage_backend=backend,
+        )
         self.nodes[name] = node
         return node
 
@@ -369,6 +381,42 @@ class ChordRing:
     def total_stored_items(self) -> int:
         """Total number of stored items across live nodes (owned + replicas)."""
         return sum(len(node.storage) for node in self.live_nodes())
+
+    def replica_custody_violations(self) -> list[dict[str, Any]]:
+        """Replica copies held by nodes with no custodial role for the key.
+
+        A replica of key ``k`` is *in custody* when its holder is the
+        ground-truth owner of ``k`` (a pending promotion) or one of the
+        owner's first ``replication_factor - 1`` live successors (a backup).
+        Anything else is a stale copy that no refresh will ever touch —
+        exactly what graceless hand-offs used to leave behind.  Computed
+        from global knowledge, so tests can assert the invariant after
+        churn settles (with ``replica_release`` enabled).
+        """
+        live = self.live_nodes()
+        violations: list[dict[str, Any]] = []
+        if len(live) <= 1:
+            return violations
+        copies = self.config.replication_factor - 1
+        for index, node in enumerate(live):
+            backup_of = {
+                live[(index - offset) % len(live)].address.name
+                for offset in range(1, copies + 1)
+            }
+            for item in node.storage.replica_items():
+                owner = self.responsible_node_for_id(item.key_id)
+                if owner.address.name == node.address.name:
+                    continue  # promotion pending: the holder owns the arc now
+                if owner.address.name in backup_of:
+                    continue  # legitimate backup for a predecessor
+                violations.append(
+                    {
+                        "holder": node.address.name,
+                        "key": item.key,
+                        "owner": owner.address.name,
+                    }
+                )
+        return violations
 
     def route_cache_stats(self) -> dict[str, float]:
         """Aggregated route-cache counters over all live nodes."""

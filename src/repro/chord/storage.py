@@ -8,35 +8,36 @@ failure recovery promotes replicas to owned entries.
 
 Values are opaque to this layer; P2P-LTR stores patch payloads and
 timestamp counters in it through higher-level services.
+
+Persistence is delegated to a :class:`~repro.storage.StorageBackend` (the
+volatile in-memory dict by default, or SQLite/WAL for durable peers).  All
+ownership mutations — promotion, demotion, absorption — go through this
+class and are written through to the backend, so a durable peer's on-disk
+state always reflects its in-memory state and a crash-restart recovery
+(:meth:`reopen`) reloads exactly what the protocol had persisted.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
+from ..storage import MemoryBackend, StorageBackend, StoredItem
 from .hashing import hash_to_id
-from .idspace import in_interval_open_closed
 
-
-@dataclass
-class StoredItem:
-    """A single stored entry and its bookkeeping metadata."""
-
-    key: str
-    value: Any
-    key_id: int
-    is_replica: bool = False
-    version: int = 0
-    stored_at: float = 0.0
+__all__ = ["NodeStorage", "StoredItem"]
 
 
 class NodeStorage:
     """Key/value storage local to one Chord node."""
 
-    def __init__(self, bits: int) -> None:
+    def __init__(self, bits: int, backend: Optional[StorageBackend] = None) -> None:
         self.bits = bits
-        self._items: dict[str, StoredItem] = {}
+        self.backend = backend if backend is not None else MemoryBackend()
+
+    @property
+    def durable(self) -> bool:
+        """Whether the underlying backend survives a crash-restart."""
+        return self.backend.durable
 
     # -- basic operations -----------------------------------------------------
 
@@ -51,7 +52,7 @@ class NodeStorage:
     ) -> StoredItem:
         """Insert or overwrite ``key``; returns the stored item."""
         identifier = key_id if key_id is not None else hash_to_id(key, self.bits)
-        existing = self._items.get(key)
+        existing = self.backend.get(key)
         version = existing.version + 1 if existing is not None else 1
         item = StoredItem(
             key=key,
@@ -61,97 +62,155 @@ class NodeStorage:
             version=version,
             stored_at=now,
         )
-        self._items[key] = item
+        self.backend.put(item)
         return item
 
     def get(self, key: str) -> Optional[StoredItem]:
         """The stored item for ``key``, or ``None``."""
-        return self._items.get(key)
+        return self.backend.get(key)
 
     def value(self, key: str, default: Any = None) -> Any:
         """The stored value for ``key``, or ``default``."""
-        item = self._items.get(key)
+        item = self.backend.get(key)
         return default if item is None else item.value
 
     def remove(self, key: str) -> bool:
         """Delete ``key``; returns ``True`` if it existed."""
-        return self._items.pop(key, None) is not None
+        return self.backend.delete(key)
 
     def update(self, key: str, updater: Callable[[Any], Any], default: Any = None,
-               now: float = 0.0) -> StoredItem:
-        """Read-modify-write helper: ``value = updater(current or default)``."""
-        current = self.value(key, default)
-        item = self._items.get(key)
+               now: float = 0.0, *, key_id: Optional[int] = None) -> StoredItem:
+        """Read-modify-write helper: ``value = updater(current or default)``.
+
+        The stored item's placement identifier is preserved (or pinned to an
+        explicit ``key_id``): entries placed under a salted-family
+        identifier — KTS counters, checkpoint indexes — must not be
+        silently re-hashed to ``hash(key)`` by a read-modify-write, or they
+        would fall out of their responsibility interval and stop moving
+        with churn-driven key transfer.
+        """
+        item = self.backend.get(key)
+        current = default if item is None else item.value
         is_replica = item.is_replica if item is not None else False
-        return self.put(key, updater(current), is_replica=is_replica, now=now)
+        if key_id is None and item is not None:
+            key_id = item.key_id
+        return self.put(key, updater(current), is_replica=is_replica, now=now,
+                        key_id=key_id)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._items
+        return key in self.backend
 
     def __len__(self) -> int:
-        return len(self._items)
+        return len(self.backend)
 
     def __iter__(self) -> Iterator[StoredItem]:
-        return iter(self._items.values())
+        return self.backend.scan()
 
     def keys(self) -> list[str]:
         """All stored keys (owned and replicas)."""
-        return list(self._items)
+        return self.backend.keys()
 
     # -- ownership ---------------------------------------------------------------
 
     def owned_items(self) -> list[StoredItem]:
         """Items this node is responsible for (not replicas)."""
-        return [item for item in self._items.values() if not item.is_replica]
+        return [item for item in self.backend.scan() if not item.is_replica]
 
     def replica_items(self) -> list[StoredItem]:
         """Items held only as replicas for other nodes."""
-        return [item for item in self._items.values() if item.is_replica]
+        return [item for item in self.backend.scan() if item.is_replica]
 
     def promote_replicas(self, predicate: Callable[[StoredItem], bool]) -> list[StoredItem]:
         """Turn matching replicas into owned items (failure takeover).
 
-        Returns the promoted items.
+        Returns the promoted items.  The promotion is written through to the
+        backend so a durable peer restarts with the takeover intact.
         """
         promoted = []
-        for item in self._items.values():
+        for item in list(self.backend.scan()):
             if item.is_replica and predicate(item):
                 item.is_replica = False
+                self.backend.put(item)
                 promoted.append(item)
         return promoted
+
+    def demote_to_replica(self, key: str) -> Optional[StoredItem]:
+        """Mark ``key`` as a replica copy (ownership moved elsewhere)."""
+        item = self.backend.get(key)
+        if item is None:
+            return None
+        if not item.is_replica:
+            item.is_replica = True
+            self.backend.put(item)
+        return item
 
     def items_in_interval(self, start_exclusive: int, end_inclusive: int,
                           *, include_replicas: bool = False) -> list[StoredItem]:
         """Items whose key identifier falls in ``(start, end]`` on the ring."""
-        selected = []
-        for item in self._items.values():
-            if not include_replicas and item.is_replica:
-                continue
-            if in_interval_open_closed(item.key_id, start_exclusive, end_inclusive):
-                selected.append(item)
-        return selected
+        return self.backend.scan_interval(
+            start_exclusive, end_inclusive, include_replicas=include_replicas
+        )
 
     def extract_interval(self, start_exclusive: int, end_inclusive: int) -> list[StoredItem]:
         """Remove and return owned items in ``(start, end]`` (key hand-off)."""
         moving = self.items_in_interval(start_exclusive, end_inclusive)
         for item in moving:
-            del self._items[item.key]
+            self.backend.delete(item.key)
         return moving
 
-    def absorb(self, items: list[StoredItem], *, as_replica: bool = False, now: float = 0.0) -> int:
+    def drop_replicas_in_interval(self, start_exclusive: int,
+                                  end_inclusive: int) -> list[StoredItem]:
+        """Remove and return replica copies in ``(start, end]``.
+
+        Used by key hand-off when this node keeps no backup role for the
+        transferred interval (``replication_factor == 1``): a stale replica
+        left behind would never be refreshed or reclaimed.
+        """
+        dropping = [
+            item for item in self.backend.scan_interval(
+                start_exclusive, end_inclusive, include_replicas=True
+            )
+            if item.is_replica
+        ]
+        for item in dropping:
+            self.backend.delete(item.key)
+        return dropping
+
+    def absorb(
+        self,
+        items: list[StoredItem],
+        *,
+        as_replica: bool = False,
+        now: float = 0.0,
+        may_promote: Optional[Callable[[StoredItem], bool]] = None,
+    ) -> int:
         """Insert items received from another node; returns how many were newer.
 
         An incoming item only overwrites an existing entry if its version is
-        strictly greater, so replaying a transfer is idempotent.
+        strictly greater, so replaying a transfer is idempotent.  When an
+        owned transfer (``as_replica=False``) replays against an entry we
+        already hold as a replica, the replica is promoted to owned — but
+        only if ``may_promote`` (when given) allows it: a replayed hand-off
+        arriving after a concurrent takeover moved the interval elsewhere
+        must not mint a second owner.
         """
         absorbed = 0
+        fresh: dict[str, StoredItem] = {}
         for incoming in items:
-            existing = self._items.get(incoming.key)
+            existing = fresh.get(incoming.key)
+            if existing is None:
+                existing = self.backend.get(incoming.key)
             if existing is not None and existing.version >= incoming.version:
-                if existing.is_replica and not as_replica:
+                if existing.is_replica and not as_replica and (
+                    may_promote is None or may_promote(existing)
+                ):
                     existing.is_replica = False
+                    if incoming.key in fresh:
+                        fresh[incoming.key] = existing
+                    else:
+                        self.backend.put(existing)
                 continue
-            self._items[incoming.key] = StoredItem(
+            fresh[incoming.key] = StoredItem(
                 key=incoming.key,
                 value=incoming.value,
                 key_id=incoming.key_id,
@@ -160,8 +219,25 @@ class NodeStorage:
                 stored_at=now,
             )
             absorbed += 1
+        if fresh:
+            self.backend.put_many(fresh.values())
         return absorbed
 
     def snapshot(self) -> dict[str, Any]:
         """Plain mapping of key to value (for assertions and reports)."""
-        return {key: item.value for key, item in self._items.items()}
+        return {item.key: item.value for item in self.backend.scan()}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def reopen(self) -> None:
+        """Crash-restart recovery: reload whatever the backend persisted.
+
+        Durable backends come back with their contents intact (reloaded in
+        insertion order); volatile backends come back empty — the honest
+        outcome of restarting a peer whose state lived only in memory.
+        """
+        self.backend.reopen()
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+        self.backend.close()

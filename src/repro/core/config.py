@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import ConfigurationError
+from ..storage import BACKEND_NAMES
 
 
 @dataclass(frozen=True)
@@ -83,6 +85,17 @@ class LtrConfig:
         ``"sim"`` (the default — deterministic virtual clock, byte-identical
         seeded experiments) or ``"asyncio"`` (wall-clock timers, real
         in-process concurrency; see ``DESIGN.md`` §"Execution runtimes").
+    storage_backend:
+        Which persistence backend every peer's node storage uses:
+        ``"memory"`` (the default — the historical volatile dict) or
+        ``"sqlite"`` (one WAL database file per node; crashed peers can
+        restart with ``recover=True`` and reload their data from disk).
+        See ``DESIGN.md`` §"Durable storage".
+    storage_dir:
+        Directory holding the per-node database files of the ``"sqlite"``
+        backend.  ``None`` (the default) lets :class:`~repro.core.LtrSystem`
+        create a private temporary directory and remove it on
+        :meth:`~repro.core.LtrSystem.shutdown`.
     """
 
     log_replication_factor: int = 3
@@ -100,12 +113,19 @@ class LtrConfig:
     grouped_fetch: bool = False
     max_parallel_fetches: int = 16
     runtime_backend: str = "sim"
+    storage_backend: str = "memory"
+    storage_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.runtime_backend not in ("sim", "asyncio"):
             raise ConfigurationError(
                 f"runtime_backend must be 'sim' or 'asyncio', "
                 f"got {self.runtime_backend!r}"
+            )
+        if self.storage_backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"storage_backend must be one of {BACKEND_NAMES}, "
+                f"got {self.storage_backend!r}"
             )
         if self.log_replication_factor < 1:
             raise ConfigurationError(

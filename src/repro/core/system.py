@@ -10,6 +10,9 @@ simultaneous updates coming from different peers", "provoke failures",
 
 from __future__ import annotations
 
+import shutil
+import tempfile
+from pathlib import Path
 from typing import Any, Iterable, Optional
 
 from ..chord import ChordConfig, ChordRing, HashFunctionFamily, timestamp_hash
@@ -19,6 +22,7 @@ from ..kts import TimestampAuthority
 from ..net import Address, ConstantLatency, LatencyModel, Network
 from ..p2plog import P2PLogClient
 from ..runtime import Runtime, backend_name, resolve_runtime
+from ..storage import StorageBackend, create_backend
 from .config import LtrConfig
 from .consistency import ConsistencyReport, build_report, verify_log_continuity
 from .master import MasterService
@@ -67,11 +71,25 @@ class LtrSystem:
             self.ltr_config.log_replication_factor, bits=self.chord_config.bits
         )
         self.ht = timestamp_hash(self.chord_config.bits)
+        # Durable storage: the sqlite backend needs a directory for its
+        # per-node database files.  A config without one gets a private
+        # temporary directory, removed again on shutdown().
+        self._storage_dir: Optional[Path] = None
+        self._auto_storage_dir = False
+        if self.ltr_config.storage_backend != "memory":
+            if self.ltr_config.storage_dir is not None:
+                self._storage_dir = Path(self.ltr_config.storage_dir)
+            else:
+                self._storage_dir = Path(
+                    tempfile.mkdtemp(prefix="repro-ltr-storage-")
+                )
+                self._auto_storage_dir = True
         self.ring = ChordRing(
             runtime=self.runtime,
             network=self.network,
             config=self.chord_config,
             service_factory=self._make_services,
+            storage_factory=self._node_storage_backend,
         )
         self._users: dict[str, UserPeer] = {}
         self._observers: list[Any] = []
@@ -86,11 +104,32 @@ class LtrSystem:
         """Name of the execution backend this system runs on."""
         return backend_name(self.runtime)
 
+    @property
+    def storage_dir(self) -> Optional[Path]:
+        """Directory holding per-node database files (``None`` for memory)."""
+        return self._storage_dir
+
+    def _node_storage_backend(self, name: str) -> Optional[StorageBackend]:
+        """The storage backend for one peer (``None`` = default in-memory)."""
+        if self.ltr_config.storage_backend == "memory":
+            return None
+        assert self._storage_dir is not None
+        return create_backend(
+            self.ltr_config.storage_backend,
+            path=self._storage_dir / f"{name}.sqlite",
+        )
+
     def shutdown(self) -> None:
-        """Release backend resources (closes an asyncio runtime's loop)."""
+        """Release backend resources: node storage, the runtime's loop, and
+        (when this system created it) the temporary storage directory."""
+        for node in self.ring.nodes.values():
+            node.storage.close()
         close = getattr(self.runtime, "close", None)
         if callable(close):
             close()
+        if self._auto_storage_dir and self._storage_dir is not None:
+            shutil.rmtree(self._storage_dir, ignore_errors=True)
+            self._auto_storage_dir = False
 
     # -------------------------------------------------------------- observers --
 
@@ -165,15 +204,17 @@ class LtrSystem:
         self.ring.wait_until_stable(max_time=120)
 
     def prepare_restart(self, name: str, *, amnesia: bool = False,
-                        via: Optional[str] = None):
+                        recover: bool = False, via: Optional[str] = None):
         """Restart a crashed peer and return its re-join generator.
 
         The shared restart primitive: picks a gateway (first live peer in
         ring order, or ``via``), re-registers the node's endpoint
-        (``amnesia`` wipes its durable state first) and hands back the
-        ``rejoin`` process generator *unspawned* — the synchronous
-        :meth:`restart_peer` driver runs it to completion, while the
-        fault-injection layer spawns it supervised in the background.
+        (``amnesia`` wipes its durable state first; ``recover`` reopens the
+        storage backend and reloads what it persisted — a new process on
+        the same disk) and hands back the ``rejoin`` process generator
+        *unspawned* — the synchronous :meth:`restart_peer` driver runs it
+        to completion, while the fault-injection layer spawns it supervised
+        in the background.
         """
         node = self.ring.node(name)
         if via is not None:
@@ -186,18 +227,18 @@ class LtrSystem:
             )
             if gateway is None:
                 raise DhtError(f"cannot restart {name!r}: no live gateway remains")
-        node.restart(amnesia=amnesia)
+        node.restart(amnesia=amnesia, recover=recover)
         return node.rejoin(gateway.address)
 
     def restart_peer(self, name: str, *, amnesia: bool = False,
-                     via: Optional[str] = None) -> None:
+                     recover: bool = False, via: Optional[str] = None) -> None:
         """Bring a crashed peer back and re-join it (synchronous driver).
 
         The fault-injection layer performs the same steps asynchronously
         through plan events; this driver is for tests and examples that want
         the restart completed (including re-stabilization) before returning.
         """
-        rejoin = self.prepare_restart(name, amnesia=amnesia, via=via)
+        rejoin = self.prepare_restart(name, amnesia=amnesia, recover=recover, via=via)
         self.runtime.run(until=self.runtime.process(rejoin))
         self.ring.clear_route_caches()
         self.ring.wait_until_stable(max_time=120)

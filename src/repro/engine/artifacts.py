@@ -23,7 +23,7 @@ def headline_metrics(result: ScenarioResult) -> dict[str, float]:
     like correctness flags are reported as a fraction.
     """
     interesting = ("latency", "hops", "attempts", "retrieved", "validated",
-                   "fairness", "fraction", "hit", "per_sec", "rss")
+                   "fairness", "fraction", "hit", "per_sec", "rss", "messages")
     metrics: dict[str, float] = {}
     for column in result.spec.columns:
         if not any(tag in column for tag in interesting):

@@ -214,3 +214,7 @@ class MasterUnavailable(LtrError):
 
 class ConfigurationError(ReproError):
     """Invalid configuration was supplied to a component."""
+
+
+class StorageError(ReproError):
+    """A storage backend failed or was used after being closed."""

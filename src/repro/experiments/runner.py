@@ -41,6 +41,8 @@ QUICK_PARAMETERS: dict[str, dict] = {
     "E15": {"restart_delays": (3.0,), "load_intervals": (0.75,),
             "peers": 8, "tail": 4.0},
     "E18": {"peer_counts": (1000, 2000), "lookups": 120, "documents": 128},
+    "E19": {"recoveries": ("durable", "amnesiac"), "peers": 10, "edits": 16,
+            "converge_budget": 20.0},
 }
 
 #: Parameters closer to the paper's demonstration scale (slower).
@@ -67,6 +69,8 @@ FULL_PARAMETERS: dict[str, dict] = {
     "E15": {"restart_delays": (2.0, 5.0, 8.0), "load_intervals": (0.5, 1.0),
             "peers": 12, "tail": 6.0},
     "E18": {"peer_counts": (1000, 10000, 100000), "lookups": 1000, "documents": 256},
+    "E19": {"recoveries": ("durable", "amnesiac"), "peers": 12, "edits": 48,
+            "converge_budget": 40.0},
 }
 
 

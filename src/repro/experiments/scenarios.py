@@ -25,7 +25,7 @@ import time
 from bisect import bisect_left
 from collections import Counter
 from dataclasses import replace
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..baselines import CentralSystem, LwwSystem
 from ..check import ConvergenceChecker
@@ -65,6 +65,7 @@ __all__ = [
     "experiment_churn_soak",
     "experiment_cold_sync",
     "experiment_concurrent_publishing",
+    "experiment_durable_restart",
     "experiment_hot_document_skew",
     "experiment_live_runtime",
     "experiment_log_availability",
@@ -1745,6 +1746,210 @@ def experiment_scale_sweep(
 
 
 # ---------------------------------------------------------------------------
+# E19 — Durable restart: recover-from-disk vs re-replicate (storage backends)
+# ---------------------------------------------------------------------------
+
+#: The document E19 publishes and recovers.
+DURABLE_KEY = "xwiki:durable"
+
+
+def _log_shard_keys(node) -> list[str]:
+    """Owned P2P-Log entry placements held by ``node`` (any hash family).
+
+    Log-entry storage keys look like ``hr2:xwiki:durable#7`` — they carry a
+    timestamp separator but are neither checkpoints nor KTS counters.
+    """
+    return [
+        item.key for item in node.storage.owned_items()
+        if "#" in item.key and "!ckpt" not in item.key
+        and not item.key.startswith("kts:")
+    ]
+
+
+def _durable_victims(system: LtrSystem, protected: set[str]) -> list[str]:
+    """The crash pair for E19: the heaviest log-shard holder + its backup.
+
+    Both the peer owning the most log-entry placements *and* its first ring
+    successor (which holds the replica copies of that shard) go down in the
+    same instant, so the shard genuinely leaves the ring unless a durable
+    backend brings it back.  Peers in ``protected`` (writer, Master,
+    Master-Succ — the KTS counter must survive in both arms) are excluded,
+    as are candidates whose successor is protected.
+    """
+    ring = system.peer_names()
+    best: Optional[tuple[int, str, str]] = None
+    for name in ring:
+        if name in protected:
+            continue
+        successor = ring[(ring.index(name) + 1) % len(ring)]
+        if successor in protected:
+            continue
+        shard = len(_log_shard_keys(system.ring.node(name)))
+        if best is None or shard > best[0]:
+            best = (shard, name, successor)
+    assert best is not None, "no crashable pair outside the protected set"
+    return [best[1], best[2]]
+
+
+def _measure_durable_restart(ctx: ScenarioContext) -> dict:
+    recovery = ctx.params["recovery"]
+    peers = ctx.params["peers"]
+    edits = ctx.params["edits"]
+    restart_delay = ctx.params["restart_delay"]
+    converge_budget = ctx.params["converge_budget"]
+    backend = "sqlite" if recovery == "durable" else "memory"
+    system = ctx.build_system(
+        peers, ltr_config=NEMESIS_LTR_CONFIG, storage_backend=backend
+    )
+    try:
+        key = DURABLE_KEY
+        ring = system.peer_names()
+        master = system.master_of(key)
+        writer = next(name for name in ring if name != master)
+        successor = ring[(ring.index(master) + 1) % len(ring)]
+        protected = {writer, master, successor}
+        for index in range(edits):
+            system.edit_and_commit(writer, key, f"revision {index} of {key}")
+        system.run_for(2.0)  # replication settles at the *-Succ peers
+
+        victims = _durable_victims(system, protected)
+        shard_before = sum(
+            len(_log_shard_keys(system.ring.node(name))) for name in victims
+        )
+        # Fail both in the same simulated instant: a staggered crash would
+        # let the backup promote the primary's shard before going down.
+        for name in victims:
+            system.ring.crash(name, stabilize=False)
+        system.ring.wait_until_stable(max_time=120)
+
+        # Crash detection and stabilization are identical in both arms;
+        # the headline counters start at the restart decision.
+        sent_before = system.network.stats.snapshot()["sent"]
+        t0 = system.runtime.now
+        if restart_delay > 0:
+            system.run_for(restart_delay)
+        rejoins = [
+            system.prepare_restart(
+                name,
+                recover=(recovery == "durable"),
+                amnesia=(recovery != "durable"),
+            )
+            for name in victims
+        ]
+        # What the restarted processes brought back from disk, counted
+        # before the ring re-replicates anything into them.
+        entries_recovered = sum(
+            len(_log_shard_keys(system.ring.node(name))) for name in victims
+        )
+        for rejoin in rejoins:
+            system.runtime.run(until=system.runtime.process(rejoin))
+        system.ring.clear_route_caches()
+        system.ring.wait_until_stable(max_time=120)
+
+        reader = next(
+            name for name in system.peer_names()
+            if name not in protected and name not in victims
+        )
+        expected_ts = system.last_ts(key)
+        step, waited, caught_up = 0.25, 0.0, False
+        while waited <= converge_budget:
+            try:
+                system.sync(reader, key)
+                replica = system.user(reader).documents.get(key)
+                if replica is not None and replica.applied_ts == expected_ts:
+                    caught_up = True
+                    break
+            except ReproError:
+                pass  # placements still resettling; keep stepping
+            system.run_for(step)
+            waited += step
+        recovery_messages = system.network.stats.snapshot()["sent"] - sent_before
+        recovery_latency = round(system.runtime.now - t0, 3)
+        # With amnesiac restarts the shard may be gone from the ring for
+        # good (every salted placement *and* its replicas died with the
+        # pair); the full-ring consistency sweep then raises instead of
+        # converging.  That is the data-loss outcome the durable arm is
+        # being compared against, so report it rather than crash.
+        try:
+            report = system.check_consistency(key)
+            converged = caught_up and report.converged and report.log_continuous
+        except ReproError:
+            converged = False
+        return {
+            "recovery": recovery,
+            "entries_published": expected_ts,
+            "shard_before": shard_before,
+            "entries_recovered": entries_recovered,
+            "recovery_messages": recovery_messages,
+            "recovery_latency_s": recovery_latency,
+            "converged": converged,
+        }
+    finally:
+        system.shutdown()
+
+
+def durable_restart_spec(
+    recoveries: Sequence[str] = ("durable", "amnesiac"),
+    peers: int = 10,
+    edits: int = 24,
+    restart_delay: float = 1.0,
+    converge_budget: float = 30.0,
+    seed: int = 19,
+) -> ScenarioSpec:
+    """Crash a log shard's owner *and* backup; recover from disk vs rebuild."""
+    return ScenarioSpec(
+        scenario_id="E19",
+        title="E19 Durable restart: recover-from-disk vs re-replicate",
+        description=(
+            "Storage-backend scenario: after a writer publishes a batch of "
+            "revisions, the peer owning the largest P2P-Log shard and its "
+            "replica successor crash in the same instant — the shard is "
+            "gone from the ring.  The durable arm restarts both peers from "
+            "their on-disk SQLite state (FaultPlan durable_restart "
+            "semantics); the amnesiac arm restarts them empty, so a cold "
+            "reader must fall back to the surviving salted-hash placements "
+            "entry by entry.  Headlines compare messages and time from the "
+            "restart decision to a cold reader's full convergence."
+        ),
+        columns=(
+            "recovery", "entries_published", "shard_before",
+            "entries_recovered", "recovery_messages", "recovery_latency_s",
+            "converged",
+        ),
+        grid={"recovery": tuple(recoveries)},
+        constants={
+            "peers": peers,
+            "edits": edits,
+            "restart_delay": restart_delay,
+            "converge_budget": converge_budget,
+        },
+        seed=seed,
+        measure=_measure_durable_restart,
+        notes=(
+            "expected shape: the durable arm restarts holding its shard "
+            "(entries_recovered > 0) and converges after strictly fewer "
+            "messages than the amnesiac arm, which must re-replicate — and, "
+            "when every salted placement of an entry died with the crash "
+            "pair, cannot converge at all (converged=False: the shard is "
+            "genuinely lost without a disk)",
+        ),
+    )
+
+
+def experiment_durable_restart(
+    recoveries: Sequence[str] = ("durable", "amnesiac"),
+    peers: int = 10,
+    edits: int = 24,
+    restart_delay: float = 1.0,
+    converge_budget: float = 30.0,
+    seed: int = 19,
+) -> ResultTable:
+    """Legacy entry point for E19; see :func:`durable_restart_spec`."""
+    return run_scenario(durable_restart_spec(
+        recoveries, peers, edits, restart_delay, converge_budget, seed)).table
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -1766,6 +1971,7 @@ SPEC_FACTORIES: dict[str, Callable[..., ScenarioSpec]] = {
     "E14": partition_heal_spec,
     "E15": master_takeover_spec,
     "E18": scale_sweep_spec,
+    "E19": durable_restart_spec,
 }
 
 
@@ -1788,4 +1994,5 @@ def iter_all_experiments() -> Iterable[tuple[str, Callable[..., ResultTable]]]:
         ("E14", experiment_partition_heal),
         ("E15", experiment_master_takeover),
         ("E18", experiment_scale_sweep),
+        ("E19", experiment_durable_restart),
     ]

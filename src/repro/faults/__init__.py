@@ -17,6 +17,7 @@ from .plan import (
     ALL_ACTION_KINDS,
     BeginPerturbation,
     CrashPeer,
+    DurableRestartPeer,
     EndPerturbation,
     FaultAction,
     FaultEvent,
@@ -34,6 +35,7 @@ __all__ = [
     "ALL_ACTION_KINDS",
     "BeginPerturbation",
     "CrashPeer",
+    "DurableRestartPeer",
     "EndPerturbation",
     "FaultAction",
     "FaultEvent",

@@ -165,6 +165,29 @@ class RestartPeer(FaultAction):
 
 
 @dataclass(frozen=True)
+class DurableRestartPeer(FaultAction):
+    """Restart a crashed peer as a new process on the same disk.
+
+    The peer's in-memory state (routing tables, predecessor) is gone, but
+    its storage backend is reopened and reloads whatever it had persisted —
+    with the sqlite backend the peer re-enters holding its data and its
+    P2P-Log shard, so recovery costs a hand-off handshake instead of a full
+    re-replication.  With the volatile default backend nothing was
+    persisted and this degenerates to an amnesiac restart.
+    """
+
+    peer: str
+    kind = "durable-restart"
+
+    def apply(self, nemesis) -> None:
+        rejoin = nemesis.system.prepare_restart(self.peer, recover=True)
+        nemesis.spawn(rejoin, name=f"durable-restart:{self.peer}")
+
+    def describe(self) -> str:
+        return f"durable-restart[{self.peer}]"
+
+
+@dataclass(frozen=True)
 class RejoinPeer(FaultAction):
     """Re-attach an alive-but-islanded peer to the main ring.
 
@@ -418,20 +441,37 @@ class FaultPlan:
         *,
         restart_after: Optional[float] = None,
         amnesia: bool = False,
+        recover: bool = False,
     ) -> "FaultPlan":
-        """Crash ``peer``; optionally restart (and re-join) it later."""
+        """Crash ``peer``; optionally restart (and re-join) it later.
+
+        ``recover=True`` schedules a durable restart (reload persisted
+        storage) instead of the endpoint-only restart; it cannot be
+        combined with ``amnesia``.
+        """
+        if amnesia and recover:
+            raise ConfigurationError(
+                "a restart cannot be both amnesiac and recovering"
+            )
         self.add(at, CrashPeer(peer))
         if restart_after is not None:
             if restart_after <= 0:
                 raise ConfigurationError(
                     f"restart_after must be positive, got {restart_after}"
                 )
-            self.add(at + restart_after, RestartPeer(peer, amnesia=amnesia))
+            if recover:
+                self.add(at + restart_after, DurableRestartPeer(peer))
+            else:
+                self.add(at + restart_after, RestartPeer(peer, amnesia=amnesia))
         return self
 
     def restart(self, at: float, peer: str, *, amnesia: bool = False) -> "FaultPlan":
         """Restart (and re-join) a previously crashed peer."""
         return self.add(at, RestartPeer(peer, amnesia=amnesia))
+
+    def durable_restart(self, at: float, peer: str) -> "FaultPlan":
+        """Restart a crashed peer from its persisted storage (same disk)."""
+        return self.add(at, DurableRestartPeer(peer))
 
     def leave(self, at: float, peer: str) -> "FaultPlan":
         """Graceful departure of ``peer``."""
@@ -468,5 +508,5 @@ class FaultPlan:
 #: Actions a :class:`FaultPlan` can carry, exported for plan introspection.
 ALL_ACTION_KINDS: Sequence[str] = (
     "partition", "heal", "perturb-begin", "perturb-end", "crash", "restart",
-    "rejoin", "leave", "join", "kts-lag",
+    "durable-restart", "rejoin", "leave", "join", "kts-lag",
 )

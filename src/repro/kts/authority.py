@@ -128,15 +128,15 @@ class TimestampAuthority(NodeService):
         if count < 1:
             raise ValueError(f"timestamp range size must be >= 1, got {count}")
         node = self._node()
+        # Pin the placement identifier so churn-driven key transfer moves the
+        # counter together with the responsibility for ht(key).
         item = node.storage.update(
             self.storage_key(key),
             lambda current: (current or 0) + count,
             default=0,
             now=node.runtime.now,
+            key_id=self.placement_id(key),
         )
-        # Pin the placement identifier so churn-driven key transfer moves the
-        # counter together with the responsibility for ht(key).
-        item.key_id = self.placement_id(key)
         self._replicate_counter(item)
         self.generated += count
         self.allocations += 1

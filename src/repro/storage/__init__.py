@@ -1,0 +1,31 @@
+"""Pluggable per-node persistence for the P2P-LTR stack.
+
+The storage layer sits directly above ``repro.errors`` and below the Chord
+substrate: :class:`~repro.chord.storage.NodeStorage` implements ownership
+semantics (versioning, replica tagging, hand-off) over a
+:class:`StorageBackend`, so the same protocol code runs volatile
+(:class:`MemoryBackend`, the default — byte-identical to the historical
+dict store) or durable (:class:`SqliteBackend`, one WAL database file per
+node, contents survive crash-restart).  See ``DESIGN.md`` §"Durable
+storage" for the determinism contract and the recovery semantics.
+"""
+
+from .api import (
+    BACKEND_NAMES,
+    StorageBackend,
+    StoredItem,
+    create_backend,
+    in_ring_interval,
+)
+from .memory import MemoryBackend
+from .sqlite import SqliteBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "MemoryBackend",
+    "SqliteBackend",
+    "StorageBackend",
+    "StoredItem",
+    "create_backend",
+    "in_ring_interval",
+]

@@ -1,0 +1,51 @@
+"""The in-memory storage backend (the default, and the historical one).
+
+A thin wrapper over a Python dict: iteration order is insertion order by
+construction, nothing survives :meth:`reopen` (there is no disk), and every
+operation is O(1).  This is the backend every seeded experiment runs on by
+default, so its semantics define the contract the durable backends must
+reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .api import StorageBackend, StoredItem
+
+
+class MemoryBackend(StorageBackend):
+    """Volatile dict-backed storage."""
+
+    durable = False
+
+    def __init__(self) -> None:
+        self._items: dict[str, StoredItem] = {}
+
+    def get(self, key: str) -> Optional[StoredItem]:
+        return self._items.get(key)
+
+    def put(self, item: StoredItem) -> None:
+        self._items[item.key] = item
+
+    def delete(self, key: str) -> bool:
+        return self._items.pop(key, None) is not None
+
+    def scan(self) -> Iterator[StoredItem]:
+        return iter(self._items.values())
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def reopen(self) -> None:
+        # Nothing was persisted: a restarted process starts empty.
+        self._items.clear()
+
+    def keys(self) -> list[str]:
+        return list(self._items)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,178 @@
+"""The SQLite/WAL storage backend: one database file per node.
+
+Schema and pragmas follow the WAL idiom (``journal_mode=WAL`` so readers
+never block the writer and committed transactions survive a hard kill,
+``synchronous=NORMAL`` — durable across application crashes, the WAL is
+replayed on reopen — and a generous ``busy_timeout`` for the live asyncio
+backend where several threads may share a file).
+
+Reads are served from a write-through cache so the protocol stack pays the
+dict cost on its hot paths; the database is only read on :meth:`reopen`.
+Two details keep a SQLite-backed run *byte-identical* to a dict-backed one:
+
+* rows are reloaded ``ORDER BY rowid``, and :meth:`put` upserts with ``ON
+  CONFLICT DO UPDATE`` (which keeps the existing rowid), so after any
+  sequence of puts/overwrites/deletes the reloaded iteration order equals
+  dict insertion order;
+* values are pickled verbatim, and the ownership metadata columns round-trip
+  ``StoredItem`` losslessly — including ``key_id``, which for salted-family
+  placements is not recomputable from the key.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+from ..errors import StorageError
+from .api import StorageBackend, StoredItem
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS items (
+    key        TEXT PRIMARY KEY,
+    key_id     INTEGER NOT NULL,
+    is_replica INTEGER NOT NULL,
+    version    INTEGER NOT NULL,
+    stored_at  REAL NOT NULL,
+    value      BLOB NOT NULL
+)
+"""
+
+_UPSERT = """
+INSERT INTO items (key, key_id, is_replica, version, stored_at, value)
+VALUES (?, ?, ?, ?, ?, ?)
+ON CONFLICT(key) DO UPDATE SET
+    key_id = excluded.key_id,
+    is_replica = excluded.is_replica,
+    version = excluded.version,
+    stored_at = excluded.stored_at,
+    value = excluded.value
+"""
+
+
+class SqliteBackend(StorageBackend):
+    """Durable storage in a single SQLite database file."""
+
+    durable = True
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._cache: dict[str, StoredItem] = {}
+        self._con: Optional[sqlite3.Connection] = None
+        self._open()
+
+    # -- connection lifecycle -------------------------------------------------
+
+    def _open(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Autocommit mode: every single-statement write is its own committed
+        # transaction; batches open an explicit transaction in put_many.
+        con = sqlite3.connect(str(self.path), isolation_level=None)
+        con.execute("PRAGMA journal_mode=WAL")
+        con.execute("PRAGMA synchronous=NORMAL")
+        con.execute("PRAGMA busy_timeout=30000")
+        con.execute(_SCHEMA)
+        self._con = con
+        self._load()
+
+    def _load(self) -> None:
+        self._cache.clear()
+        rows = self._connection.execute(
+            "SELECT key, key_id, is_replica, version, stored_at, value "
+            "FROM items ORDER BY rowid"
+        )
+        for key, key_id, is_replica, version, stored_at, blob in rows:
+            self._cache[key] = StoredItem(
+                key=key,
+                value=pickle.loads(blob),
+                key_id=key_id,
+                is_replica=bool(is_replica),
+                version=version,
+                stored_at=stored_at,
+            )
+
+    @property
+    def _connection(self) -> sqlite3.Connection:
+        if self._con is None:
+            raise StorageError(f"sqlite backend {self.path} is closed")
+        return self._con
+
+    def close(self) -> None:
+        if self._con is not None:
+            self._con.close()
+            self._con = None
+
+    def reopen(self) -> None:
+        """Reconnect and reload the cache from disk (crash-restart recovery).
+
+        The cache is rebuilt purely from the database, so whatever did not
+        reach a committed transaction is gone — exactly the state a peer
+        restarted on the same disk would observe.
+        """
+        self.close()
+        self._open()
+
+    def flush(self) -> None:
+        # Autocommit already made every write durable; fold the WAL back
+        # into the main database so a plain file copy is complete.
+        self._connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
+    # -- core operations ------------------------------------------------------
+
+    @staticmethod
+    def _row(item: StoredItem) -> tuple:
+        return (
+            item.key,
+            item.key_id,
+            1 if item.is_replica else 0,
+            item.version,
+            item.stored_at,
+            pickle.dumps(item.value, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def get(self, key: str) -> Optional[StoredItem]:
+        return self._cache.get(key)
+
+    def put(self, item: StoredItem) -> None:
+        self._connection.execute(_UPSERT, self._row(item))
+        self._cache[item.key] = item
+
+    def put_many(self, items: Iterable[StoredItem]) -> None:
+        items = list(items)
+        if not items:
+            return
+        con = self._connection
+        con.execute("BEGIN")
+        try:
+            con.executemany(_UPSERT, [self._row(item) for item in items])
+        except BaseException:
+            con.execute("ROLLBACK")
+            raise
+        con.execute("COMMIT")
+        for item in items:
+            self._cache[item.key] = item
+
+    def delete(self, key: str) -> bool:
+        if key not in self._cache:
+            return False
+        self._connection.execute("DELETE FROM items WHERE key = ?", (key,))
+        del self._cache[key]
+        return True
+
+    def scan(self) -> Iterator[StoredItem]:
+        return iter(self._cache.values())
+
+    def clear(self) -> None:
+        self._connection.execute("DELETE FROM items")
+        self._cache.clear()
+
+    def keys(self) -> list[str]:
+        return list(self._cache)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,246 @@
+"""Durable crash-restart recovery, end to end (``storage_backend="sqlite"``).
+
+A peer with the SQLite backend that crashes and restarts with
+``recover=True`` is a new process on the same disk: routing state is gone,
+but the storage backend reopens and reloads every committed item — owned
+entries, replica copies, the P2P-Log shard and the KTS counters.  The
+tests here drive that path through the public system API and through the
+nemesis (``FaultPlan.crash(recover=True)`` / ``durable_restart``), and
+close with the differential guarantee: a dict-backed and a SQLite-backed
+run of the same seeded workload are *indistinguishable* — same replica
+texts, same applied timestamps, same message counts — across ten seeds.
+"""
+
+import pytest
+
+from repro.check import ConvergenceChecker
+from repro.core import LtrConfig, LtrSystem
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, Nemesis
+
+KEY = "xwiki:durable-test"
+
+
+def build_system(tmp_path, *, seed=7, peers=8, backend="sqlite"):
+    system = LtrSystem(
+        seed=seed,
+        ltr_config=LtrConfig(
+            validation_retries=3,
+            validation_retry_delay=0.25,
+            storage_backend=backend,
+            storage_dir=str(tmp_path) if backend != "memory" else None,
+        ),
+    )
+    system.bootstrap(peers)
+    return system
+
+
+def log_shard(node):
+    """Log-entry placements owned by ``node`` (no checkpoints, no counters)."""
+    return sorted(
+        item.key for item in node.storage.owned_items()
+        if "#" in item.key and "!ckpt" not in item.key
+        and not item.key.startswith("kts:")
+    )
+
+
+def heaviest_log_peer(system, *, excluding=()):
+    return max(
+        (name for name in system.peer_names() if name not in excluding),
+        key=lambda name: len(log_shard(system.ring.node(name))),
+    )
+
+
+# ---------------------------------------------------------------------------
+# restart flavours against the durable backend
+# ---------------------------------------------------------------------------
+
+
+def test_recover_restart_reloads_the_persisted_state(tmp_path):
+    system = build_system(tmp_path)
+    try:
+        writer = next(
+            name for name in system.peer_names() if name != system.master_of(KEY)
+        )
+        for index in range(12):
+            system.edit_and_commit(writer, KEY, f"revision {index}")
+        system.run_for(2.0)
+        victim = heaviest_log_peer(
+            system, excluding={writer, system.master_of(KEY)}
+        )
+        node = system.ring.node(victim)
+        assert node.storage.durable
+        shard = log_shard(node)
+        keys_before = set(node.storage.keys())
+        assert shard, "victim holds no log placements; pick a different seed"
+        system.ring.crash(victim)
+        system.restart_peer(victim, recover=True)
+        assert set(node.storage.keys()) >= keys_before, (
+            "durable restart lost committed items"
+        )
+        assert set(log_shard(node)) >= set(shard)
+        report = system.check_consistency(KEY)
+        assert report.converged and report.log_continuous
+    finally:
+        system.shutdown()
+
+
+def test_amnesiac_restart_wipes_the_disk_too(tmp_path):
+    system = build_system(tmp_path)
+    try:
+        writer = next(
+            name for name in system.peer_names() if name != system.master_of(KEY)
+        )
+        for index in range(8):
+            system.edit_and_commit(writer, KEY, f"revision {index}")
+        victim = heaviest_log_peer(
+            system, excluding={writer, system.master_of(KEY)}
+        )
+        node = system.ring.node(victim)
+        system.ring.crash(victim)
+        rejoin = system.prepare_restart(victim, amnesia=True)
+        # Before the re-join runs: storage is empty, and so is the database
+        # (an amnesiac peer comes back on fresh hardware).
+        assert len(node.storage) == 0
+        node.storage.reopen()
+        assert len(node.storage) == 0, "amnesia left data in the database"
+        system.runtime.run(until=system.runtime.process(rejoin))
+        system.ring.wait_until_stable(max_time=120)
+    finally:
+        system.shutdown()
+
+
+def test_restart_rejects_amnesia_plus_recover(tmp_path):
+    system = build_system(tmp_path, peers=4)
+    try:
+        victim = system.peer_names()[-1]
+        system.ring.crash(victim)
+        with pytest.raises(ValueError):
+            system.prepare_restart(victim, amnesia=True, recover=True)
+    finally:
+        system.shutdown()
+
+
+def test_auto_storage_dir_is_removed_on_shutdown():
+    system = LtrSystem(ltr_config=LtrConfig(storage_backend="sqlite"))
+    system.bootstrap(3)
+    directory = system.storage_dir
+    assert directory is not None and directory.exists()
+    assert list(directory.glob("*.sqlite"))
+    system.shutdown()
+    assert not directory.exists()
+
+
+def test_explicit_storage_dir_is_kept_on_shutdown(tmp_path):
+    system = build_system(tmp_path, peers=3)
+    system.shutdown()
+    assert tmp_path.exists()
+    assert list(tmp_path.glob("*.sqlite"))
+
+
+# ---------------------------------------------------------------------------
+# nemesis integration: the durable-restart fault action
+# ---------------------------------------------------------------------------
+
+
+def test_fault_plan_rejects_amnesia_plus_recover():
+    with pytest.raises(ConfigurationError):
+        FaultPlan().crash(at=1.0, peer="p", restart_after=1.0,
+                          amnesia=True, recover=True)
+
+
+def test_nemesis_durable_restart_converges_with_data(tmp_path):
+    system = build_system(tmp_path, seed=13)
+    try:
+        writer = next(
+            name for name in system.peer_names() if name != system.master_of(KEY)
+        )
+        for index in range(10):
+            system.edit_and_commit(writer, KEY, f"revision {index}")
+        system.run_for(1.0)
+        victim = heaviest_log_peer(
+            system, excluding={writer, system.master_of(KEY)}
+        )
+        shard = log_shard(system.ring.node(victim))
+        plan = FaultPlan().crash(at=0.5, peer=victim, restart_after=1.5,
+                                 recover=True)
+        checker = ConvergenceChecker(keys=[KEY])
+        system.add_observer(checker)
+        nemesis = Nemesis(system, plan).start()
+        system.run_for(8.0)
+        assert not nemesis.errors
+        assert [event.action.kind for event in plan.events] \
+            == ["crash", "durable-restart"]
+        node = system.ring.node(victim)
+        assert node.alive
+        assert set(log_shard(node)) >= set(shard)
+        assert checker.violations() == []
+        final = checker.final_check(system)
+        assert final.ok
+    finally:
+        system.shutdown()
+
+
+def test_master_counter_survives_durable_restart(tmp_path):
+    """The KTS counter comes back from disk: timestamps continue, no takeover."""
+    system = build_system(tmp_path, seed=29)
+    try:
+        master = system.master_of(KEY)
+        writer = next(name for name in system.peer_names() if name != master)
+        for index in range(6):
+            system.edit_and_commit(writer, KEY, f"before crash {index}")
+        assert system.last_ts(KEY) == 6
+        system.ring.crash(master)
+        system.restart_peer(master, recover=True)
+        counter = system.ring.node(master).storage.get(f"kts:{KEY}")
+        assert counter is not None and counter.value == 6
+        for index in range(3):
+            system.edit_and_commit(writer, KEY, f"after recovery {index}")
+        assert system.last_ts(KEY) == 9
+        report = system.check_consistency(KEY)
+        assert report.converged and report.log_continuous
+    finally:
+        system.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# differential: dict-backed and SQLite-backed runs are indistinguishable
+# ---------------------------------------------------------------------------
+
+
+def run_workload(backend, tmp_path, seed):
+    """A small two-writer workload; returns every externally visible outcome."""
+    system = build_system(tmp_path, seed=seed, peers=6, backend=backend)
+    try:
+        documents = ("xwiki:diff-a", "xwiki:diff-b")
+        masters = {system.master_of(key) for key in documents}
+        writers = [name for name in system.peer_names() if name not in masters][:2]
+        for index in range(5):
+            for writer, key in zip(writers, documents):
+                system.edit_and_commit(writer, key, f"{key} rev {index} by {writer}")
+        system.run_for(1.5)
+        outcome = {"stats": system.network.stats.snapshot()}
+        for key in documents:
+            system.sync_all(key)
+            report = system.check_consistency(key)
+            outcome[key] = {
+                "last_ts": report.last_ts,
+                "converged": report.converged,
+                "log_continuous": report.log_continuous,
+                "canonical": report.canonical_lines,
+                "applied": {
+                    user.node.address.name: user.documents[key].applied_ts
+                    for user in system.users()
+                    if key in user.documents
+                },
+            }
+        return outcome
+    finally:
+        system.shutdown()
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_sqlite_backend_is_differentially_identical_to_memory(tmp_path, seed):
+    memory = run_workload("memory", tmp_path / "mem", seed)
+    durable = run_workload("sqlite", tmp_path / "sql", seed)
+    assert memory == durable

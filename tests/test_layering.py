@@ -24,12 +24,13 @@ ALLOWED_DEPENDENCIES: dict[str, set[str]] = {
     "sim": {"errors"},
     "runtime": {"errors", "sim"},                     # the only module allowed to see sim
     "ot": {"errors"},
+    "storage": {"errors"},
     "net": {"errors", "runtime"},
-    "chord": {"errors", "runtime", "net"},
+    "chord": {"errors", "runtime", "net", "storage"},
     "dht": {"errors", "runtime", "net", "chord"},
     "kts": {"errors", "runtime", "net", "chord", "dht"},
     "p2plog": {"errors", "runtime", "net", "chord", "dht", "ot"},
-    "core": {"errors", "runtime", "net", "chord", "dht", "kts", "p2plog", "ot"},
+    "core": {"errors", "runtime", "net", "chord", "dht", "kts", "p2plog", "ot", "storage"},
     "baselines": {"errors", "runtime", "net", "ot"},
     "app": {"errors", "runtime", "core", "ot"},
     "workloads": {"errors", "runtime", "net"},

@@ -1,0 +1,312 @@
+"""Conformance and durability tests for the storage backends (``repro.storage``).
+
+Every backend must honour the same contract: lossless ``StoredItem``
+round-trips (including salted ``key_id`` placements that are *not*
+recomputable from the key) and insertion-order iteration matching Python
+dict semantics — overwrites keep their position, delete + re-add appends.
+The protocol stack derives message schedules from iteration order, so a
+backend that visits items differently would silently change every seeded
+experiment; the conformance tests therefore drive a random op sequence
+against a plain-dict reference model.
+
+The SQLite backend additionally guarantees that committed writes survive a
+hard kill (WAL journaling): the torn-write tests copy the database files
+mid-life — connection still open, no flush — and reopen the copy, exactly
+what ``kill -9`` + restart-on-the-same-disk leaves behind.
+"""
+
+import random
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError, StorageError
+from repro.storage import (
+    BACKEND_NAMES,
+    MemoryBackend,
+    SqliteBackend,
+    StoredItem,
+    create_backend,
+)
+
+SALT = 0xBEEF  # stand-in for a salted-family placement id != hash(key)
+
+
+def make_item(key, value, *, key_id=None, is_replica=False, version=1, stored_at=0.0):
+    return StoredItem(
+        key=key,
+        value=value,
+        key_id=key_id if key_id is not None else SALT,
+        is_replica=is_replica,
+        version=version,
+        stored_at=stored_at,
+    )
+
+
+@pytest.fixture(params=BACKEND_NAMES)
+def backend(request, tmp_path):
+    instance = create_backend(request.param, path=tmp_path / "node.sqlite")
+    yield instance
+    instance.close()
+
+
+# ---------------------------------------------------------------------------
+# factory
+# ---------------------------------------------------------------------------
+
+
+def test_create_backend_rejects_unknown_names():
+    with pytest.raises(ConfigurationError):
+        create_backend("postgres")
+
+
+def test_sqlite_backend_requires_a_path():
+    with pytest.raises(ConfigurationError):
+        create_backend("sqlite")
+
+
+def test_backend_kinds():
+    memory = create_backend("memory")
+    assert isinstance(memory, MemoryBackend)
+    assert not memory.durable
+
+
+def test_sqlite_backend_is_durable(tmp_path):
+    backend = create_backend("sqlite", path=tmp_path / "d.sqlite")
+    assert isinstance(backend, SqliteBackend)
+    assert backend.durable
+    backend.close()
+
+
+# ---------------------------------------------------------------------------
+# contract conformance (both backends)
+# ---------------------------------------------------------------------------
+
+
+def test_round_trip_preserves_every_field(backend):
+    item = make_item(
+        "hr2:doc#7", {"patch": ["line"]}, key_id=12345, is_replica=True,
+        version=4, stored_at=2.5,
+    )
+    backend.put(item)
+    stored = backend.get("hr2:doc#7")
+    assert stored == item
+    assert stored.key_id == 12345  # NOT hash(key): salted placements must survive
+    assert backend.get("missing") is None
+    assert "hr2:doc#7" in backend
+    assert len(backend) == 1
+
+
+def test_delete_returns_whether_key_existed(backend):
+    backend.put(make_item("a", 1))
+    assert backend.delete("a") is True
+    assert backend.delete("a") is False
+    assert backend.get("a") is None
+
+
+def test_iteration_order_matches_dict_semantics(backend):
+    backend.put(make_item("a", 1))
+    backend.put(make_item("b", 2))
+    backend.put(make_item("c", 3))
+    backend.put(make_item("a", 10, version=2))  # overwrite keeps position
+    backend.delete("b")
+    backend.put(make_item("b", 20, version=2))  # delete + re-add appends
+    assert backend.keys() == ["a", "c", "b"]
+    assert [item.value for item in backend.scan()] == [10, 3, 20]
+
+
+def test_random_ops_conform_to_dict_reference_model(backend):
+    rng = random.Random(7)
+    model: dict[str, StoredItem] = {}
+    keys = [f"k{index}" for index in range(12)]
+    for step in range(300):
+        key = rng.choice(keys)
+        op = rng.random()
+        if op < 0.6:
+            item = make_item(key, step, key_id=rng.randrange(2 ** 16),
+                             is_replica=rng.random() < 0.3,
+                             version=step, stored_at=float(step))
+            backend.put(item)
+            model[key] = item
+        elif op < 0.9:
+            assert backend.delete(key) == (model.pop(key, None) is not None)
+        else:
+            assert backend.get(key) == model.get(key)
+    assert backend.keys() == list(model)
+    assert list(backend.scan()) == list(model.values())
+
+
+def test_put_many_writes_every_item_in_order(backend):
+    backend.put(make_item("seed", 0))
+    backend.put_many([make_item(f"b{index}", index) for index in range(5)])
+    assert backend.keys() == ["seed"] + [f"b{index}" for index in range(5)]
+
+
+def test_scan_interval_honours_ring_arcs_and_replica_flag(backend):
+    backend.put(make_item("low", 1, key_id=10))
+    backend.put(make_item("mid", 2, key_id=100))
+    backend.put(make_item("high", 3, key_id=1000))
+    backend.put(make_item("copy", 4, key_id=100, is_replica=True))
+    assert [item.key for item in backend.scan_interval(10, 100)] == ["mid"]
+    assert [item.key for item in backend.scan_interval(10, 100, include_replicas=True)] \
+        == ["mid", "copy"]
+    # wrap-around arc (1200, 50]: past the top of the arc, around through zero
+    assert [item.key for item in backend.scan_interval(1200, 50)] == ["low"]
+    # start == end covers the whole ring (single-node responsibility)
+    assert [item.key for item in backend.scan_interval(77, 77)] \
+        == ["low", "mid", "high"]
+
+
+def test_clear_drops_everything(backend):
+    backend.put_many([make_item(f"k{index}", index) for index in range(4)])
+    backend.clear()
+    assert len(backend) == 0
+    assert backend.keys() == []
+
+
+# ---------------------------------------------------------------------------
+# reopen semantics: volatile forgets, durable reloads
+# ---------------------------------------------------------------------------
+
+
+def test_memory_backend_forgets_on_reopen():
+    backend = MemoryBackend()
+    backend.put(make_item("a", 1))
+    backend.reopen()
+    assert len(backend) == 0
+
+
+def test_sqlite_backend_reloads_identical_items_on_reopen(tmp_path):
+    backend = SqliteBackend(tmp_path / "n.sqlite")
+    items = [
+        make_item("kts:doc", 41, key_id=9, version=41, stored_at=1.5),
+        make_item("hr1:doc#3", ["p"], key_id=77, is_replica=True, version=1),
+        make_item("plain", "v", key_id=5, version=2, stored_at=0.25),
+    ]
+    for item in items:
+        backend.put(item)
+    backend.reopen()
+    assert list(backend.scan()) == items
+    backend.close()
+
+
+def test_sqlite_backend_reopen_preserves_dict_order_after_churn(tmp_path):
+    backend = SqliteBackend(tmp_path / "n.sqlite")
+    model: dict[str, int] = {}
+    rng = random.Random(23)
+    for step in range(200):
+        key = f"k{rng.randrange(10)}"
+        if rng.random() < 0.7:
+            backend.put(make_item(key, step, version=step))
+            model[key] = step
+        else:
+            backend.delete(key)
+            model.pop(key, None)
+    backend.reopen()  # ORDER BY rowid must reproduce dict insertion order
+    assert backend.keys() == list(model)
+    assert [item.value for item in backend.scan()] == list(model.values())
+    backend.close()
+
+
+def test_sqlite_clear_is_durable(tmp_path):
+    backend = SqliteBackend(tmp_path / "n.sqlite")
+    backend.put(make_item("a", 1))
+    backend.clear()
+    backend.reopen()
+    assert len(backend) == 0
+    backend.close()
+
+
+# ---------------------------------------------------------------------------
+# sqlite specifics: pragmas, lifecycle, transactional batches
+# ---------------------------------------------------------------------------
+
+
+def test_sqlite_uses_wal_journaling(tmp_path):
+    backend = SqliteBackend(tmp_path / "n.sqlite")
+    (mode,) = backend._connection.execute("PRAGMA journal_mode").fetchone()
+    assert mode == "wal"
+    (timeout,) = backend._connection.execute("PRAGMA busy_timeout").fetchone()
+    assert timeout >= 1000
+    backend.close()
+
+
+def test_sqlite_operations_after_close_raise(tmp_path):
+    backend = SqliteBackend(tmp_path / "n.sqlite")
+    backend.put(make_item("a", 1))
+    backend.close()
+    backend.close()  # idempotent
+    with pytest.raises(StorageError):
+        backend.put(make_item("b", 2))
+    backend.reopen()
+    assert backend.keys() == ["a"]
+    backend.close()
+
+
+def test_sqlite_put_many_is_transactional(tmp_path):
+    backend = SqliteBackend(tmp_path / "n.sqlite")
+    backend.put(make_item("baseline", 0))
+    poisoned = [
+        make_item("good", 1),
+        make_item("bad", lambda: None),  # unpicklable: the batch must abort
+    ]
+    with pytest.raises(Exception):
+        backend.put_many(poisoned)
+    # Neither the database nor the cache took half the batch.
+    assert backend.keys() == ["baseline"]
+    backend.reopen()
+    assert backend.keys() == ["baseline"]
+    backend.close()
+
+
+# ---------------------------------------------------------------------------
+# torn writes: what a kill -9 leaves on disk
+# ---------------------------------------------------------------------------
+
+
+def _copy_database(source: Path, target_dir: Path) -> Path:
+    """Copy a live SQLite database with its WAL sidecars (a crash snapshot)."""
+    target = target_dir / source.name
+    for suffix in ("", "-wal", "-shm"):
+        sidecar = Path(str(source) + suffix)
+        if sidecar.exists():
+            shutil.copy(sidecar, str(target) + suffix)
+    return target
+
+
+def test_committed_writes_survive_a_file_level_crash_copy(tmp_path):
+    """Copying the files mid-life (no close, no flush) keeps committed data."""
+    live = tmp_path / "live"
+    live.mkdir()
+    backend = SqliteBackend(live / "n.sqlite")
+    items = [make_item(f"k{index}", index, version=index + 1) for index in range(8)]
+    for item in items:
+        backend.put(item)
+    copied = _copy_database(backend.path, tmp_path)  # connection still open
+    recovered = SqliteBackend(copied)
+    assert list(recovered.scan()) == items
+    recovered.close()
+    backend.close()
+
+
+def test_uncommitted_transaction_is_absent_after_crash_copy(tmp_path):
+    """An open transaction at kill time is rolled back by WAL recovery."""
+    live = tmp_path / "live"
+    live.mkdir()
+    backend = SqliteBackend(live / "n.sqlite")
+    backend.put(make_item("committed", 1))
+    con = backend._connection
+    con.execute("BEGIN")
+    con.execute(
+        "INSERT INTO items (key, key_id, is_replica, version, stored_at, value) "
+        "VALUES ('torn', 0, 0, 1, 0.0, x'80049500')"
+    )
+    # No COMMIT: the copy is the disk state of a process killed mid-write.
+    copied = _copy_database(backend.path, tmp_path)
+    recovered = SqliteBackend(copied)
+    assert recovered.keys() == ["committed"]
+    assert "torn" not in recovered
+    recovered.close()
+    con.execute("ROLLBACK")
+    backend.close()
