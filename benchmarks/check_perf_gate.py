@@ -15,7 +15,7 @@ Deterministic simulated metrics normally reproduce *exactly*; the default
 snapshot with ``run_all.py`` when the shift is intended, and the diff
 becomes part of the PR).  Wall-clock-dependent metrics — anything measured
 in host seconds or host memory (``per_sec``, ``rss``, names with ``wall``,
-and everything in E13, which runs on the asyncio backend) — get a wide
+and everything in E13/E16, which run on live backends) — get a wide
 band since they vary by machine.  Deviations are checked symmetrically: a
 20% *improvement* also fails, because it means the committed baseline no
 longer describes the code and should be refreshed.
@@ -32,7 +32,7 @@ from repro.engine import headline_metrics
 from repro.experiments import SPEC_FACTORIES, run_experiment
 
 #: Experiments whose every metric is wall-clock-dependent (live backends).
-WALL_CLOCK_EXPERIMENTS = frozenset({"E13"})
+WALL_CLOCK_EXPERIMENTS = frozenset({"E13", "E16"})
 
 #: Headline-name fragments marking a metric as host-machine-dependent.
 WALL_CLOCK_TAGS = ("wall", "per_sec", "per_s", "rss")

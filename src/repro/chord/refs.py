@@ -27,3 +27,15 @@ class NodeRef:
 
     def __str__(self) -> str:
         return f"{self.address.name}#{self.node_id}"
+
+
+# -- wire registration (see repro.net.codec) ---------------------------------
+
+from ..net.codec import register_wire_type  # noqa: E402
+
+register_wire_type(
+    NodeRef,
+    "noderef",
+    pack=lambda obj, enc: [enc(obj.node_id), enc(obj.address)],
+    unpack=lambda body, dec: NodeRef(dec(body[0]), dec(body[1])),
+)

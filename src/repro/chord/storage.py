@@ -241,3 +241,28 @@ class NodeStorage:
     def close(self) -> None:
         """Release backend resources (idempotent)."""
         self.backend.close()
+
+
+# -- wire registration (see repro.net.codec) ---------------------------------
+# StoredItem is defined by the storage layer, which sits below the network
+# and cannot register it itself; chord is the layer that ships StoredItems
+# over RPC (hand-off, replication), so the registration lives here.
+
+from ..net.codec import register_wire_type  # noqa: E402
+
+register_wire_type(
+    StoredItem,
+    "stored-item",
+    pack=lambda obj, enc: [
+        obj.key, enc(obj.value), enc(obj.key_id), obj.is_replica,
+        obj.version, obj.stored_at,
+    ],
+    unpack=lambda body, dec: StoredItem(
+        key=body[0], value=dec(body[1]), key_id=dec(body[2]),
+        is_replica=body[3], version=body[4], stored_at=body[5],
+    ),
+    copy=lambda obj, copier: StoredItem(
+        key=obj.key, value=copier(obj.value), key_id=obj.key_id,
+        is_replica=obj.is_replica, version=obj.version, stored_at=obj.stored_at,
+    ),
+)

@@ -107,3 +107,25 @@ class CommitBatch:
         if not self.patches:
             return False
         return self.full or self.age(now) >= self.deadline
+
+
+# -- wire registration (see repro.net.codec) ---------------------------------
+
+from ..net.codec import register_wire_type  # noqa: E402
+
+register_wire_type(
+    CommitBatch,
+    "commit-batch",
+    pack=lambda obj, enc: [
+        obj.key, obj.opened_at, obj.max_edits, obj.deadline,
+        [enc(patch) for patch in obj.patches],
+    ],
+    unpack=lambda body, dec: CommitBatch(
+        key=body[0], opened_at=body[1], max_edits=body[2], deadline=body[3],
+        patches=[dec(patch) for patch in body[4]],
+    ),
+    copy=lambda obj, copier: CommitBatch(
+        key=obj.key, opened_at=obj.opened_at, max_edits=obj.max_edits,
+        deadline=obj.deadline, patches=list(obj.patches),
+    ),
+)

@@ -87,6 +87,15 @@ class UnknownRpcMethod(NetworkError):
     """The remote peer does not expose the requested RPC method."""
 
 
+class CodecError(NetworkError):
+    """A payload could not be serialized to, or decoded from, the wire.
+
+    Raised for unregistered payload types, malformed or oversized frames,
+    unknown wire tags and envelope version mismatches (see
+    :mod:`repro.net.codec`).
+    """
+
+
 # ---------------------------------------------------------------------------
 # Chord DHT
 # ---------------------------------------------------------------------------
@@ -218,3 +227,12 @@ class ConfigurationError(ReproError):
 
 class StorageError(ReproError):
     """A storage backend failed or was used after being closed."""
+
+
+class ClusterError(ReproError):
+    """A multi-process cluster could not be launched, wired or stopped.
+
+    Raised by :mod:`repro.cluster` when a host process fails its readiness
+    handshake, dies during startup, or the launcher is driven after
+    shutdown.
+    """

@@ -40,6 +40,7 @@ QUICK_PARAMETERS: dict[str, dict] = {
             "peers": 8, "converge_budget": 15.0},
     "E15": {"restart_delays": (3.0,), "load_intervals": (0.75,),
             "peers": 8, "tail": 4.0},
+    "E16": {"process_counts": (3,), "peers_per_process": 2, "commits": 18},
     "E18": {"peer_counts": (1000, 2000), "lookups": 120, "documents": 128},
     "E19": {"recoveries": ("durable", "amnesiac"), "peers": 10, "edits": 16,
             "converge_budget": 20.0},
@@ -68,6 +69,7 @@ FULL_PARAMETERS: dict[str, dict] = {
             "peers": 12, "converge_budget": 25.0},
     "E15": {"restart_delays": (2.0, 5.0, 8.0), "load_intervals": (0.5, 1.0),
             "peers": 12, "tail": 6.0},
+    "E16": {"process_counts": (3, 5), "peers_per_process": 2, "commits": 48},
     "E18": {"peer_counts": (1000, 10000, 100000), "lookups": 1000, "documents": 256},
     "E19": {"recoveries": ("durable", "amnesiac"), "peers": 12, "edits": 48,
             "converge_budget": 40.0},

@@ -67,6 +67,7 @@ __all__ = [
     "experiment_concurrent_publishing",
     "experiment_durable_restart",
     "experiment_hot_document_skew",
+    "experiment_live_cluster",
     "experiment_live_runtime",
     "experiment_log_availability",
     "experiment_master_departure",
@@ -1607,6 +1608,101 @@ def experiment_master_takeover(
 
 
 # ---------------------------------------------------------------------------
+# E16 — Live cluster: multi-process ring over the wire codec — engine-native
+# ---------------------------------------------------------------------------
+
+
+def _measure_live_cluster(ctx: ScenarioContext) -> dict:
+    """Commit through a real N-process ring, kill the Master's process, heal.
+
+    The only scenario that leaves the building: the launcher spawns one OS
+    process per cluster host (``python -m repro.cluster host``), every
+    cross-process RPC is serialized through the versioned wire codec over
+    Unix-domain sockets, and the nemesis SIGKILLs the process hosting the
+    hot document's Master-key peer mid-run.  The offline placement math
+    (:mod:`repro.cluster.placement`) guarantees the Master's successor —
+    holder of the replicated last-ts and KTS counter — survives in a
+    different process, so the run measures the paper's Master-failure
+    takeover across a genuine process boundary.  All timing columns are
+    wall-clock; like E13, E16 rows are outside the byte-identical
+    determinism contract.
+    """
+    from ..cluster import ClusterConfig, run_live_cluster
+
+    config = ClusterConfig(
+        processes=ctx.params["processes"],
+        peers_per_process=ctx.params["peers_per_process"],
+        seed=ctx.seed,
+    )
+    report = run_live_cluster(
+        config, commits=ctx.params["commits"], kill=ctx.params["kill"]
+    )
+    report.pop("nemesis", None)  # full record is diagnostic, not a column
+    report["killed_process"] = (
+        -1 if report["killed_process"] is None else report["killed_process"]
+    )
+    return report
+
+
+def live_cluster_spec(
+    process_counts: Sequence[int] = (3,),
+    peers_per_process: int = 2,
+    commits: int = 24,
+    kill: bool = True,
+    seed: int = 16,
+) -> ScenarioSpec:
+    """Commit throughput + takeover on a real multi-process deployment."""
+    return ScenarioSpec(
+        scenario_id="E16",
+        title="E16 Live cluster: multi-process ring over the wire codec",
+        description=(
+            "Deployment extension: the ring is split across real OS "
+            "processes (the paper's one-JVM-per-peer model), every "
+            "cross-process RPC travels the versioned wire codec over "
+            "Unix-domain stream sockets, and the launcher's client peer "
+            "drives commits through the full lookup/validation/publication "
+            "path.  Mid-run the nemesis SIGKILLs the process hosting the "
+            "document's Master-key peer; commits ride out the takeover and "
+            "the log is verified continuous afterwards.  Throughput and "
+            "latency columns are wall-clock."
+        ),
+        columns=(
+            "processes", "peers_per_process", "ring_size", "commits_ok",
+            "commits_failed", "mean_attempts", "last_ts", "wall_clock_s",
+            "commits_per_s", "p50_latency_ms", "p95_latency_ms",
+            "killed_process", "kill_applied", "post_kill_ok", "log_continuous",
+            "frames_out", "frames_in",
+        ),
+        grid={"processes": tuple(process_counts)},
+        constants={
+            "peers_per_process": peers_per_process,
+            "commits": commits,
+            "kill": kill,
+        },
+        topology=Topology(runtime="asyncio"),
+        seed=seed,
+        measure=_measure_live_cluster,
+        notes=(
+            "live cluster: rows carry wall-clock measurements across real OS "
+            "processes and are machine-dependent; kill_applied, "
+            "log_continuous and post_kill_ok > 0 must always hold",
+        ),
+    )
+
+
+def experiment_live_cluster(
+    process_counts: Sequence[int] = (3,),
+    peers_per_process: int = 2,
+    commits: int = 24,
+    kill: bool = True,
+    seed: int = 16,
+) -> ResultTable:
+    """Legacy-style entry point for E16; see :func:`live_cluster_spec`."""
+    return run_scenario(live_cluster_spec(
+        process_counts, peers_per_process, commits, kill, seed)).table
+
+
+# ---------------------------------------------------------------------------
 # E18 — Kernel scale sweep (warm ring construction + Zipf lookup traffic)
 # ---------------------------------------------------------------------------
 
@@ -1970,6 +2066,7 @@ SPEC_FACTORIES: dict[str, Callable[..., ScenarioSpec]] = {
     "E13": live_runtime_spec,
     "E14": partition_heal_spec,
     "E15": master_takeover_spec,
+    "E16": live_cluster_spec,
     "E18": scale_sweep_spec,
     "E19": durable_restart_spec,
 }
@@ -1993,6 +2090,7 @@ def iter_all_experiments() -> Iterable[tuple[str, Callable[..., ResultTable]]]:
         ("E13", experiment_live_runtime),
         ("E14", experiment_partition_heal),
         ("E15", experiment_master_takeover),
+        ("E16", experiment_live_cluster),
         ("E18", experiment_scale_sweep),
         ("E19", experiment_durable_restart),
     ]

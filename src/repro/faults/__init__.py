@@ -24,6 +24,7 @@ from .plan import (
     FaultPlan,
     HealPartition,
     JoinPeer,
+    KillProcess,
     KtsReplicaLag,
     LeavePeer,
     PartitionNetwork,
@@ -42,6 +43,7 @@ __all__ = [
     "FaultPlan",
     "HealPartition",
     "JoinPeer",
+    "KillProcess",
     "KtsReplicaLag",
     "LeavePeer",
     "Nemesis",

@@ -139,6 +139,33 @@ class CrashPeer(FaultAction):
 
 
 @dataclass(frozen=True)
+class KillProcess(FaultAction):
+    """SIGKILL one host process of a live multi-process cluster.
+
+    The process-level analogue of :class:`CrashPeer`: every peer hosted by
+    process ``index`` disappears at once, with no hand-off — the OS reclaims
+    the sockets and the survivors only learn about it through RPC timeouts.
+    Requires a system exposing ``kill_process(index)``
+    (:class:`repro.cluster.Cluster`); a single-process system rejects the
+    action with :class:`~repro.errors.ConfigurationError`.
+    """
+
+    index: int
+    kind = "kill-process"
+
+    def apply(self, nemesis) -> None:
+        kill = getattr(nemesis.system, "kill_process", None)
+        if kill is None:
+            raise ConfigurationError(
+                "kill-process needs a cluster system exposing kill_process()"
+            )
+        kill(self.index)
+
+    def describe(self) -> str:
+        return f"kill-process[{self.index}]"
+
+
+@dataclass(frozen=True)
 class RestartPeer(FaultAction):
     """Restart a previously crashed peer and re-join it to the ring.
 
@@ -481,6 +508,12 @@ class FaultPlan:
         """A (possibly brand new) peer joins the ring."""
         return self.add(at, JoinPeer(peer))
 
+    def kill_process(self, at: float, index: int) -> "FaultPlan":
+        """SIGKILL host process ``index`` of a multi-process cluster."""
+        if index < 0:
+            raise ConfigurationError(f"process index must be >= 0, got {index}")
+        return self.add(at, KillProcess(index))
+
     def kts_lag(self, at: float, duration: float, delay: float) -> "FaultPlan":
         """Lag every Master's counter-replica push by ``delay`` for a window."""
         if duration <= 0:
@@ -508,5 +541,5 @@ class FaultPlan:
 #: Actions a :class:`FaultPlan` can carry, exported for plan introspection.
 ALL_ACTION_KINDS: Sequence[str] = (
     "partition", "heal", "perturb-begin", "perturb-end", "crash", "restart",
-    "durable-restart", "rejoin", "leave", "join", "kts-lag",
+    "durable-restart", "rejoin", "leave", "join", "kts-lag", "kill-process",
 )

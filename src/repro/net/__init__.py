@@ -7,6 +7,20 @@ concurrent under the asyncio backend.
 """
 
 from .address import Address, make_addresses
+from .codec import (
+    WIRE_VERSION,
+    ErrorEnvelope,
+    FrameDecoder,
+    copy_payload,
+    decode,
+    decode_message,
+    encode,
+    encode_message,
+    envelope_from_exception,
+    exception_from_envelope,
+    frame,
+    register_wire_type,
+)
 from .failures import (
     BernoulliLoss,
     FailureSchedule,
@@ -27,10 +41,26 @@ from .latency import (
 )
 from .message import DeliveryReceipt, Message, MessageKind, TrafficStats
 from .rpc import RpcAgent, normalize_backend_error
-from .transport import Network
+from .transport import WIRE_FIDELITIES, Network
+from .wire import WireEndpoint, WireNetwork
 
 __all__ = [
+    "WireEndpoint",
+    "WireNetwork",
     "Address",
+    "ErrorEnvelope",
+    "FrameDecoder",
+    "WIRE_FIDELITIES",
+    "WIRE_VERSION",
+    "copy_payload",
+    "decode",
+    "decode_message",
+    "encode",
+    "encode_message",
+    "envelope_from_exception",
+    "exception_from_envelope",
+    "frame",
+    "register_wire_type",
     "BernoulliLoss",
     "ConstantLatency",
     "DeliveryReceipt",

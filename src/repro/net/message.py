@@ -56,8 +56,14 @@ class Message:
     is_error: bool = False
     sent_at: float = 0.0
 
-    def reply(self, payload: Any, *, is_error: bool = False, sent_at: float = 0.0) -> "Message":
-        """Build the response message for this request."""
+    def reply(self, payload: Any, *, sent_at: float, is_error: bool = False) -> "Message":
+        """Build the response message for this request.
+
+        ``sent_at`` is deliberately required: a response stamped with the
+        dataclass default (epoch zero) would poison live-mode latency
+        metrics and perturbation-window accounting, so the responder must
+        pass its runtime clock explicitly.
+        """
         if self.kind is not MessageKind.REQUEST:
             raise ValueError("only request messages can be replied to")
         return Message(

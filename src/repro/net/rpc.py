@@ -14,16 +14,26 @@ perform further RPCs before responding).
 from __future__ import annotations
 
 import inspect
-from itertools import count
 from typing import Any, Callable, Dict, Optional
 
-from ..errors import NodeUnreachable, ReproError, RequestTimeout, UnknownRpcMethod
+from ..errors import (
+    NetworkError,
+    NodeUnreachable,
+    ReproError,
+    RequestTimeout,
+    UnknownRpcMethod,
+)
 from ..runtime import Event, Future, Runtime
 from .address import Address
+from .codec import ErrorEnvelope, envelope_from_exception, exception_from_envelope
 from .message import Message, MessageKind
 from .transport import Network
 
 Handler = Callable[..., Any]
+
+#: Request ids live in an unsigned 32-bit wire field; allocation wraps
+#: back to 1 at this bound instead of growing without limit.
+REQUEST_ID_LIMIT = 2**32
 
 
 def normalize_backend_error(exc: BaseException) -> BaseException:
@@ -61,7 +71,7 @@ class RpcAgent:
         self._handlers: Dict[str, Handler] = {}
         self._pending: Dict[int, Future] = {}
         self._timers: Dict[int, Event] = {}
-        self._request_ids = count(1)
+        self._next_request_id = 1
         self._online = False
         network.register(address, self)
         self._online = True
@@ -136,6 +146,24 @@ class RpcAgent:
 
     # -- outgoing calls ---------------------------------------------------------
 
+    def _allocate_request_id(self) -> int:
+        """The next free correlation id, wrapping safely at the wire bound.
+
+        A long-lived agent (the cluster mode runs for days) must not grow
+        its ids without limit, and after wrapping it must not reuse an id
+        whose request is still pending — a stale response would settle the
+        wrong future.
+        """
+        candidate = self._next_request_id
+        while candidate in self._pending:
+            candidate += 1
+            if candidate >= REQUEST_ID_LIMIT:
+                candidate = 1
+        self._next_request_id = candidate + 1
+        if self._next_request_id >= REQUEST_ID_LIMIT:
+            self._next_request_id = 1
+        return candidate
+
     def call(
         self,
         destination: Address,
@@ -155,7 +183,7 @@ class RpcAgent:
             future.fail(NodeUnreachable(f"{self.address} is offline"))
             return future
 
-        request_id = next(self._request_ids)
+        request_id = self._allocate_request_id()
         message = Message(
             source=self.address,
             destination=destination,
@@ -252,9 +280,25 @@ class RpcAgent:
         if future is None or future.triggered:
             return  # response arrived after the timeout already fired
         if message.is_error:
-            future.fail(normalize_backend_error(message.payload))
+            future.fail(self._error_from_payload(message.payload))
         else:
             future.succeed(message.payload)
+
+    @staticmethod
+    def _error_from_payload(payload: Any) -> BaseException:
+        """The exception an error response describes.
+
+        Error responses carry :class:`~repro.net.codec.ErrorEnvelope`
+        payloads (typed code + args), reconstructed here so callers catch
+        the same exception classes they always did — never the responder's
+        live exception object.  A live exception (a hand-built response
+        from a test harness) and anything unrecognized degrade gracefully.
+        """
+        if isinstance(payload, ErrorEnvelope):
+            return exception_from_envelope(payload)
+        if isinstance(payload, BaseException):
+            return normalize_backend_error(payload)
+        return NetworkError(f"error response with malformed payload: {payload!r}")
 
     def _handle_request(self, message: Message) -> None:
         handler = self._handlers.get(message.method)
@@ -292,5 +336,9 @@ class RpcAgent:
     def _respond(self, request: Message, payload: Any, *, is_error: bool = False) -> None:
         if not self._online:
             return
+        if is_error and isinstance(payload, BaseException):
+            # Exceptions never cross the wire as live objects: flatten to a
+            # typed envelope here, reconstructed in _error_from_payload.
+            payload = envelope_from_exception(payload)
         response = request.reply(payload, is_error=is_error, sent_at=self.runtime.now)
         self.network.send(response)

@@ -82,3 +82,26 @@ def make_checkpoint_key(document_key: str, ts: int) -> str:
 def make_checkpoint_index_key(document_key: str) -> str:
     """The canonical placement string of a document's checkpoint index."""
     return f"{document_key}!ckpt-index"
+
+
+# -- wire registration (see repro.net.codec) ---------------------------------
+
+from ..net.codec import register_wire_type  # noqa: E402
+
+register_wire_type(
+    Checkpoint,
+    "checkpoint",
+    pack=lambda obj, enc: [
+        obj.document_key, obj.ts, list(obj.lines), obj.created_at,
+        obj.author, enc(obj.metadata),
+    ],
+    unpack=lambda body, dec: Checkpoint(
+        document_key=body[0], ts=body[1], lines=tuple(body[2]),
+        created_at=body[3], author=body[4], metadata=dec(body[5]),
+    ),
+    copy=lambda obj, copier: Checkpoint(
+        document_key=obj.document_key, ts=obj.ts, lines=obj.lines,
+        created_at=obj.created_at, author=obj.author,
+        metadata=copier(obj.metadata),
+    ),
+)

@@ -67,3 +67,64 @@ def make_log_key(document_key: str, ts: int) -> str:
     if ts < 1:
         raise ValueError(f"log timestamps start at 1, got {ts}")
     return f"{document_key}#{ts}"
+
+
+# -- wire registration (see repro.net.codec) ---------------------------------
+# The OT layer sits below the network and cannot register its own types;
+# the P2P-Log is the layer that ships patches (inside log entries and
+# validation payloads) over RPC, so the patch family registers here.
+
+from ..net.codec import register_wire_type  # noqa: E402
+from ..ot.operations import DeleteLine, InsertLine, NoOp  # noqa: E402
+from ..ot.patch import Patch  # noqa: E402
+
+register_wire_type(
+    InsertLine,
+    "op-ins",
+    pack=lambda obj, enc: [obj.position, obj.line, obj.origin],
+    unpack=lambda body, dec: InsertLine(body[0], body[1], body[2]),
+)
+
+register_wire_type(
+    DeleteLine,
+    "op-del",
+    pack=lambda obj, enc: [obj.position, obj.line, obj.origin],
+    unpack=lambda body, dec: DeleteLine(body[0], body[1], body[2]),
+)
+
+register_wire_type(
+    NoOp,
+    "op-noop",
+    pack=lambda obj, enc: obj.origin,
+    unpack=lambda body, dec: NoOp(body),
+)
+
+register_wire_type(
+    Patch,
+    "patch",
+    pack=lambda obj, enc: [
+        [enc(op) for op in obj.operations], obj.base_ts, obj.author, obj.comment,
+    ],
+    unpack=lambda body, dec: Patch(
+        operations=tuple(dec(op) for op in body[0]),
+        base_ts=body[1], author=body[2], comment=body[3],
+    ),
+)
+
+register_wire_type(
+    LogEntry,
+    "log-entry",
+    pack=lambda obj, enc: [
+        obj.document_key, obj.ts, enc(obj.patch), obj.author,
+        obj.published_at, obj.base_ts, enc(obj.metadata),
+    ],
+    unpack=lambda body, dec: LogEntry(
+        document_key=body[0], ts=body[1], patch=dec(body[2]), author=body[3],
+        published_at=body[4], base_ts=body[5], metadata=dec(body[6]),
+    ),
+    copy=lambda obj, copier: LogEntry(
+        document_key=obj.document_key, ts=obj.ts, patch=copier(obj.patch),
+        author=obj.author, published_at=obj.published_at, base_ts=obj.base_ts,
+        metadata=copier(obj.metadata),
+    ),
+)

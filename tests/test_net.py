@@ -410,7 +410,7 @@ def test_network_stats_accounting():
 def test_message_reply_only_for_requests():
     message = _dummy_message()
     with pytest.raises(ValueError):
-        message.reply("nope")
+        message.reply("nope", sent_at=0.0)
 
 
 def test_crash_drops_inflight_messages():
