@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from .idspace import finger_start, in_interval_open
+from .idspace import finger_start
 from .refs import NodeRef
 
 
@@ -61,12 +61,25 @@ class FingerTable:
         logarithmic lookup.  ``exclude`` lets the caller skip refs it has
         already found unresponsive during the current lookup.
         """
-        excluded = exclude or set()
-        for entry in reversed(self._entries):
-            if entry is None or entry in excluded:
-                continue
-            if in_interval_open(entry.node_id, self.node_id, target_id):
-                return entry
+        node_id = self.node_id
+        # ``in_interval_open`` inlined: this scan runs for every routed
+        # hop and the call overhead dominated it.  The wrapped comparison
+        # subsumes the degenerate ``node_id == target_id`` case (it reduces
+        # to ``entry_id != node_id``, exactly the whole-ring-except-self
+        # convention).
+        if node_id < target_id:
+            for entry in reversed(self._entries):
+                if entry is None or (exclude is not None and entry in exclude):
+                    continue
+                if node_id < entry.node_id < target_id:
+                    return entry
+        else:
+            for entry in reversed(self._entries):
+                if entry is None or (exclude is not None and entry in exclude):
+                    continue
+                entry_id = entry.node_id
+                if entry_id > node_id or entry_id < target_id:
+                    return entry
         return None
 
     def known_nodes(self) -> list[NodeRef]:

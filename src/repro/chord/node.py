@@ -397,7 +397,10 @@ class ChordNode:
             interval, owner = cached
             return {"node": owner, "hops": hops, "interval": interval, "cached": True}
 
-        excluded: set[NodeRef] = set()
+        # The exclusion set tracks refs found unresponsive during *this*
+        # lookup; allocated lazily because the overwhelmingly common lookup
+        # never loses a candidate.
+        excluded: Optional[set[NodeRef]] = None
         while True:
             candidate = self.fingers.closest_preceding(target_id, exclude=excluded)
             if candidate is None or candidate == self.ref:
@@ -415,6 +418,8 @@ class ChordNode:
                 self._remember_route(answer)
                 return answer
             except _UNREACHABLE_ERRORS:
+                if excluded is None:
+                    excluded = set()
                 excluded.add(candidate)
                 self.fingers.remove_node(candidate)
                 self.successors.remove(candidate)
@@ -462,9 +467,11 @@ class ChordNode:
             return
         self.route_cache.store(tuple(interval), answer["node"], self.runtime.now)
 
-    def _first_live_successor_candidate(self, excluded: set[NodeRef]) -> Optional[NodeRef]:
+    def _first_live_successor_candidate(
+        self, excluded: Optional[set[NodeRef]]
+    ) -> Optional[NodeRef]:
         for entry in self.successors.entries():
-            if entry not in excluded and entry != self.ref:
+            if (excluded is None or entry not in excluded) and entry != self.ref:
                 return entry
         return None
 
@@ -536,12 +543,13 @@ class ChordNode:
         replicas receive one ``receive_items`` notification instead of one
         per item.
         """
+        now = self.runtime.now  # one clock read; no yields between the puts
         stored = [
             self.storage.put(
                 entry["key"],
                 entry["value"],
                 is_replica=is_replica,
-                now=self.runtime.now,
+                now=now,
                 key_id=entry.get("key_id"),
             )
             for entry in items

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from ..net import Address
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class NodeRef:
     """Reference to a Chord node: its network address and ring identifier."""
 

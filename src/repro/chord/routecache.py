@@ -57,20 +57,40 @@ class RouteCache:
     # -- queries ------------------------------------------------------------
 
     def lookup(self, target_id: int, now: float) -> Optional[tuple[Interval, NodeRef]]:
-        """The cached ``(interval, owner)`` containing ``target_id``, if fresh."""
-        expired = [
-            interval
-            for interval, (_owner, stored_at) in self._entries.items()
-            if now - stored_at > self.ttl
-        ]
-        for interval in expired:
-            del self._entries[interval]
-            self.invalidations += 1
-        for interval, (owner, _stored_at) in self._entries.items():
-            if in_interval_open_closed(target_id, interval[0], interval[1]):
-                self._entries.move_to_end(interval)
-                self.hits += 1
-                return interval, owner
+        """The cached ``(interval, owner)`` containing ``target_id``, if fresh.
+
+        One pass over the entries: expired intervals are collected for
+        removal while the first fresh containing interval is remembered —
+        same eviction set, same answer and same counters as the original
+        two-scan version, without allocating an eviction list on the
+        (overwhelmingly common) lookup that expires nothing.
+        """
+        ttl = self.ttl
+        expired: Optional[list[Interval]] = None
+        hit: Optional[tuple[Interval, NodeRef]] = None
+        for interval, entry in self._entries.items():
+            if now - entry[1] > ttl:
+                if expired is None:
+                    expired = [interval]
+                else:
+                    expired.append(interval)
+            elif hit is None:
+                # in_interval_open_closed, inlined: this scan runs for every
+                # routed lookup and the call overhead dominated it.  The
+                # degenerate start == end case cannot occur (store() refuses
+                # those intervals).
+                start, end = interval
+                if (start < target_id <= end) if start < end \
+                        else (target_id > start or target_id <= end):
+                    hit = (interval, entry[0])
+        if expired is not None:
+            for interval in expired:
+                del self._entries[interval]
+            self.invalidations += len(expired)
+        if hit is not None:
+            self._entries.move_to_end(hit[0])
+            self.hits += 1
+            return hit
         self.misses += 1
         return None
 

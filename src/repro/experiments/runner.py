@@ -44,6 +44,8 @@ QUICK_PARAMETERS: dict[str, dict] = {
     "E18": {"peer_counts": (1000, 2000), "lookups": 120, "documents": 128},
     "E19": {"recoveries": ("durable", "amnesiac"), "peers": 10, "edits": 16,
             "converge_budget": 20.0},
+    "E20": {"peer_counts": (1000,), "batches": (16, 1), "edits": 64,
+            "probes": 16},
 }
 
 #: Parameters closer to the paper's demonstration scale (slower).
@@ -73,6 +75,8 @@ FULL_PARAMETERS: dict[str, dict] = {
     "E18": {"peer_counts": (1000, 10000, 100000), "lookups": 1000, "documents": 256},
     "E19": {"recoveries": ("durable", "amnesiac"), "peers": 12, "edits": 48,
             "converge_budget": 40.0},
+    "E20": {"peer_counts": (1000, 3000, 10000), "batches": (16, 1),
+            "edits": 256, "probes": 32},
 }
 
 

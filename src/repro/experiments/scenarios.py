@@ -74,10 +74,12 @@ __all__ = [
     "experiment_master_join",
     "experiment_master_takeover",
     "experiment_partition_heal",
+    "experiment_protocol_scale",
     "experiment_response_time",
     "experiment_scale_sweep",
     "experiment_timestamp_generation",
     "iter_all_experiments",
+    "protocol_revision_text",
     "SCALE_CHORD_CONFIG",
 ]
 
@@ -2046,6 +2048,175 @@ def experiment_durable_restart(
 
 
 # ---------------------------------------------------------------------------
+# E20 — Protocol scale sweep (commit pipeline on warm 10^3-10^4-peer rings)
+# ---------------------------------------------------------------------------
+
+#: The document the E20 writer edits.
+PROTOCOL_SCALE_KEY = "scale-doc"
+
+#: Lines rewritten per E20 edit.  Collaborative page edits touch a handful
+#: of lines, not one: a multi-line revision weights the per-operation costs
+#: (payload sizing, delivery copies, OT transform) the way real commits do.
+PROTOCOL_SCALE_LINES = 16
+
+
+def protocol_revision_text(index: int, lines: int = PROTOCOL_SCALE_LINES) -> str:
+    """The document content staged by edit ``index`` of the E20 workload.
+
+    Shared with ``benchmarks/profile_protocol.py`` so the benchmark harness
+    and the committed experiment drive byte-identical commit pipelines.
+    """
+    return "\n".join(f"revision {index} line {line}" for line in range(lines)) + "\n"
+
+
+def _measure_protocol_scale(ctx: ScenarioContext) -> dict:
+    peers = ctx.params["peers"]
+    batch = ctx.params["batch"]
+    edits = ctx.param("edits", 256)
+    lines = ctx.param("lines", PROTOCOL_SCALE_LINES)
+    probes = ctx.param("probes", 32)
+
+    if batch > 1:
+        ltr_config = LtrConfig(
+            batch_enabled=True, batch_max_edits=batch, parallel_retrieval=True
+        )
+    else:
+        ltr_config = LtrConfig(parallel_retrieval=True)
+    # Built directly rather than through ``ctx.build_system``: the scale
+    # points need the warm-wired bootstrap (E18's starting point) — growing
+    # a 10^4-peer ring join by join would dominate the run many times over.
+    build_started = time.perf_counter()
+    system = LtrSystem(
+        ltr_config=ltr_config,
+        chord_config=SCALE_CHORD_CONFIG,
+        seed=ctx.seed,
+        latency=ConstantLatency(0.003),
+    )
+    system.bootstrap(peers, warm=True)
+    build_wall = time.perf_counter() - build_started
+
+    try:
+        writer = system.peer_names()[0]
+        key = PROTOCOL_SCALE_KEY
+        sent_before = system.network.stats.sent
+        events_before = system.runtime.processed_events
+        sim_before = system.runtime.now
+        committed = 0
+        started = time.perf_counter()
+        if batch > 1:
+            for index in range(edits):
+                outcome = system.stage(
+                    writer, key, protocol_revision_text(index, lines),
+                    comment=f"edit-{index}",
+                )
+                if outcome is not None:
+                    committed += outcome.edits
+            if edits % batch:
+                outcome = system.flush(writer, key)
+                if outcome is not None:
+                    committed += outcome.edits
+        else:
+            for index in range(edits):
+                result = system.edit_and_commit(
+                    writer, key, protocol_revision_text(index, lines),
+                    comment=f"edit-{index}",
+                )
+                if result is not None:
+                    committed += 1
+        pipeline_wall = time.perf_counter() - started
+        messages = system.network.stats.sent - sent_before
+        pipeline_events = system.runtime.processed_events - events_before
+        sim_elapsed = system.runtime.now - sim_before
+
+        # Routing probe: where the committed document lives, as seen from
+        # random gateways — the hop count a cold reader pays before the
+        # route cache warms for it.
+        rng = random.Random(ctx.seed * 65537 + peers)
+        gateways = system.peer_names()
+        hops = []
+        for _ in range(probes):
+            via = gateways[rng.randrange(len(gateways))]
+            hops.append(system.ring.lookup(key, via=via)["hops"])
+    finally:
+        system.shutdown()
+
+    return {
+        "peers": peers,
+        "batch": batch,
+        "edits": edits,
+        "committed": committed,
+        "commits_per_sec": (
+            round(committed / pipeline_wall, 1) if pipeline_wall > 0 else 0.0
+        ),
+        "sim_elapsed_s": round(sim_elapsed, 3),
+        "messages": messages,
+        "events_per_sec": (
+            round(pipeline_events / pipeline_wall, 1) if pipeline_wall > 0 else 0.0
+        ),
+        "mean_hops": summarize(hops).mean,
+        "build_wall_s": round(build_wall, 3),
+        "peak_rss_mb": _peak_rss_mb(),
+    }
+
+
+def protocol_scale_spec(
+    peer_counts: Sequence[int] = (1000, 3000, 10000),
+    batches: Sequence[int] = (16, 1),
+    edits: int = 256,
+    lines: int = PROTOCOL_SCALE_LINES,
+    probes: int = 32,
+    seed: int = 20,
+) -> ScenarioSpec:
+    """Commit pipeline throughput on warm 10^3-10^4-peer rings."""
+    return ScenarioSpec(
+        scenario_id="E20",
+        title="E20 Protocol scale sweep: commit pipeline on warm rings",
+        description=(
+            "Protocol-at-scale validation: one writer drives the full "
+            "commit pipeline (Master round, KTS timestamps, grouped P2P-Log "
+            "writes) against warm-wired rings of 10^3-10^4 peers, batched "
+            "(one Master round-trip per batch) and unbatched.  Each edit "
+            "rewrites a multi-line document revision, so payload sizing and "
+            "per-delivery copies carry realistic weight.  Headlines are "
+            "wall-clock commits/sec and kernel events/sec through the "
+            "pipeline, message count, cold-reader hop counts to the "
+            "document's Master, and process peak RSS."
+        ),
+        columns=(
+            "peers", "batch", "edits", "committed", "commits_per_sec",
+            "sim_elapsed_s", "messages", "events_per_sec", "mean_hops",
+            "build_wall_s", "peak_rss_mb",
+        ),
+        grid={"peers": tuple(peer_counts), "batch": tuple(batches)},
+        constants={"edits": edits, "lines": lines, "probes": probes},
+        seed=seed,
+        seed_offset=lambda params: params["peers"] % 7919,
+        measure=_measure_protocol_scale,
+        notes=(
+            "expected shape: batched commits sustain several-fold higher "
+            "commits/sec than unbatched at every ring size, and throughput "
+            "degrades only mildly from 10^3 to 10^4 peers (hop counts grow "
+            "logarithmically); committed == edits at every point; "
+            "wall-clock columns vary by machine and are excluded from "
+            "byte-identity checks",
+        ),
+    )
+
+
+def experiment_protocol_scale(
+    peer_counts: Sequence[int] = (1000, 3000, 10000),
+    batches: Sequence[int] = (16, 1),
+    edits: int = 256,
+    lines: int = PROTOCOL_SCALE_LINES,
+    probes: int = 32,
+    seed: int = 20,
+) -> ResultTable:
+    """Legacy entry point for E20; see :func:`protocol_scale_spec`."""
+    return run_scenario(protocol_scale_spec(
+        peer_counts, batches, edits, lines, probes, seed)).table
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -2069,6 +2240,7 @@ SPEC_FACTORIES: dict[str, Callable[..., ScenarioSpec]] = {
     "E16": live_cluster_spec,
     "E18": scale_sweep_spec,
     "E19": durable_restart_spec,
+    "E20": protocol_scale_spec,
 }
 
 
@@ -2093,4 +2265,5 @@ def iter_all_experiments() -> Iterable[tuple[str, Callable[..., ResultTable]]]:
         ("E16", experiment_live_cluster),
         ("E18", experiment_scale_sweep),
         ("E19", experiment_durable_restart),
+        ("E20", experiment_protocol_scale),
     ]

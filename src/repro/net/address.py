@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Address:
     """Identity of a network endpoint.
 

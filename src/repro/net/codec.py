@@ -41,7 +41,7 @@ import copy as _copy
 import json
 import math
 import traceback as _traceback
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from ..errors import CodecError, NetworkError, ReproError
@@ -83,7 +83,7 @@ _INT_MAX = 2**64 - 1
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ErrorEnvelope:
     """A serializable description of one exception.
 
@@ -218,6 +218,9 @@ def register_wire_type(
         )
     if copy is None:
         copy = lambda obj, copier: obj  # noqa: E731 - immutable by declaration
+        _IMMUTABLE_LEAVES.add(cls)
+    else:
+        _IMMUTABLE_LEAVES.discard(cls)
     wire_type = WireType(tag=tag, cls=cls, pack=pack, unpack=unpack, copy=copy)
     _WIRE_TYPES[cls] = wire_type
     _WIRE_TAGS[tag] = wire_type
@@ -317,6 +320,13 @@ def from_wire(wire: Any) -> Any:
 #: Types whose instances are immutable all the way down: shared, not copied.
 _ATOMIC_TYPES = (type(None), bool, int, float, str, bytes, Address, MessageKind)
 
+#: The copy fast path: exact types returned by reference.  Seeded with the
+#: atomics; :func:`register_wire_type` adds every registered type declared
+#: immutable (``copy=None`` — those were shared by their identity-copy
+#: hook already, the set only skips the registry dispatch) and removes
+#: types re-registered with a real copy hook.
+_IMMUTABLE_LEAVES: set[type] = set(_ATOMIC_TYPES)
+
 
 def copy_payload(obj: Any) -> Any:
     """A copy of ``obj`` with the aliasing a real wire would sever.
@@ -326,18 +336,40 @@ def copy_payload(obj: Any) -> Any:
     mutable registered types are rebuilt.  Unknown objects fall back to
     :func:`copy.deepcopy`, so sim-mode tests may still route arbitrary
     payloads.
+
+    This runs once per simulated delivery, so the common shapes take an
+    exact-type fast path: immutable leaves (atomics plus identity-copy
+    registered wire types) return by reference after one set lookup, and
+    a tuple or frozenset whose items all copied to themselves is itself
+    returned by reference — receivers cannot mutate either, so sharing
+    the container is indistinguishable from rebuilding it.  Mutable
+    containers (dict, list, set) are always rebuilt; that is the
+    mutation-severing contract.  ``tests/test_copy_fastpath.py`` holds
+    the property suite pinning equivalence with the structural copy.
     """
-    kind = type(obj)
-    if kind in (dict,):
+    kind = obj.__class__
+    if kind in _IMMUTABLE_LEAVES:
+        return obj
+    if kind is dict:
         return {key: copy_payload(value) for key, value in obj.items()}
     if kind is list:
         return [copy_payload(item) for item in obj]
-    if kind in _ATOMIC_TYPES or isinstance(obj, _ATOMIC_TYPES):
-        return obj
     if kind is tuple:
-        return tuple(copy_payload(item) for item in obj)
-    if kind in (set, frozenset):
-        return kind(copy_payload(item) for item in obj)
+        copied = tuple(copy_payload(item) for item in obj)
+        for original, item in zip(obj, copied):
+            if item is not original:
+                return copied
+        return obj
+    if kind is set:
+        return {copy_payload(item) for item in obj}
+    if kind is frozenset:
+        copied = [copy_payload(item) for item in obj]
+        for original, item in zip(obj, copied):
+            if item is not original:
+                return frozenset(copied)
+        return obj
+    if isinstance(obj, _ATOMIC_TYPES):
+        return obj  # atomic subclasses (enums, bool/str subtypes)
     wire_type = _WIRE_TYPES.get(kind)
     if wire_type is not None:
         return wire_type.copy(obj, copy_payload)
@@ -351,7 +383,16 @@ def copy_message(message: Message) -> Message:
     payload = copy_payload(message.payload)
     if payload is message.payload:
         return message
-    return replace(message, payload=payload)
+    return Message(
+        source=message.source,
+        destination=message.destination,
+        kind=message.kind,
+        method=message.method,
+        payload=payload,
+        request_id=message.request_id,
+        is_error=message.is_error,
+        sent_at=message.sent_at,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -184,12 +184,15 @@ class RpcAgent:
             return future
 
         request_id = self._allocate_request_id()
+        # ``arguments`` is this call's own kwargs dict — nothing else can
+        # alias it, so it rides in the message as-is (delivery severs
+        # aliasing for the receiver; see Network._deliver).
         message = Message(
             source=self.address,
             destination=destination,
             kind=MessageKind.REQUEST,
             method=method,
-            payload=dict(arguments),
+            payload=arguments,
             request_id=request_id,
             sent_at=self.runtime.now,
         )
@@ -210,7 +213,7 @@ class RpcAgent:
                     )
                 )
 
-        timeout_event.add_callback(on_timeout)
+        timeout_event.callbacks.append(on_timeout)  # fresh event: append directly
         return future
 
     def request(
@@ -250,7 +253,7 @@ class RpcAgent:
             destination=destination,
             kind=MessageKind.ONEWAY,
             method=method,
-            payload=dict(arguments),
+            payload=arguments,
             request_id=0,
             sent_at=self.runtime.now,
         )

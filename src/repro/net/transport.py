@@ -10,7 +10,7 @@ at that moment.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Protocol
+from typing import Any, Dict, Optional, Protocol
 
 from ..errors import ConfigurationError, NetworkError
 from ..runtime import Runtime
@@ -89,33 +89,56 @@ class Network:
         self.default_timeout = default_timeout
         self._endpoints: Dict[Address, Endpoint] = {}
         self._crashed: set[Address] = set()
+        # Resolved-stream cache for non-scope-aware RNG families (the
+        # deterministic backend): ``stream(name)`` always returns the same
+        # generator there, so the per-send lock/lookup is pure overhead.
+        # Keyed by family identity so a swapped runtime never serves stale
+        # generators; scope-aware families (asyncio) bypass the cache.
+        self._stream_cache: Dict[str, Any] = {}
+        self._stream_family: Any = None
 
     @property
     def sim(self) -> Runtime:
         """Backward-compatible alias for :attr:`runtime`."""
         return self.runtime
 
-    @property
-    def _latency_rng(self):
-        """The latency stream, resolved per use.
+    def _stream(self, name: str):
+        """The named RNG stream, resolved per use.
 
         Resolution at draw time (not at construction) lets a scope-aware
         RNG family (the asyncio backend) hand each concurrent process its
-        own sub-stream, so draws never interleave within one named stream;
-        on the default backend this returns the same generator every time.
+        own sub-stream, so draws never interleave within one named stream.
+        A non-scope-aware family returns the same generator for a name
+        every time, so those resolutions are memoized (``stream()`` costs
+        a lock acquisition and a dict probe on every simulated send
+        otherwise).
         """
-        return self.runtime.rng.stream("net.latency")
+        rng = self.runtime.rng
+        if rng.scope_provider is not None:
+            return rng.stream(name)
+        if self._stream_family is not rng:
+            self._stream_family = rng
+            self._stream_cache = {}
+        stream = self._stream_cache.get(name)
+        if stream is None:
+            stream = self._stream_cache[name] = rng.stream(name)
+        return stream
+
+    @property
+    def _latency_rng(self):
+        """The latency stream (see :meth:`_stream`)."""
+        return self._stream("net.latency")
 
     @property
     def _loss_rng(self):
-        """The loss stream, resolved per use (see :attr:`_latency_rng`)."""
-        return self.runtime.rng.stream("net.loss")
+        """The loss stream (see :meth:`_stream`)."""
+        return self._stream("net.loss")
 
     @property
     def _perturb_rng(self):
         """The perturbation stream, only ever drawn from while a window is
         active, so fault-free runs keep their historical RNG sequences."""
-        return self.runtime.rng.stream("net.perturb")
+        return self._stream("net.perturb")
 
     # -- perturbation windows -------------------------------------------------
 
@@ -182,16 +205,18 @@ class Network:
         if not self.partitions.allows(message.source, message.destination):
             self.stats.record_dropped(message)
             return DeliveryReceipt(message, False, None, "partitioned")
-        if self.loss.should_drop(self._loss_rng, message):
+        if self.loss.should_drop(self._stream("net.loss"), message):
             self.stats.record_dropped(message)
             return DeliveryReceipt(message, False, None, "lost")
 
-        delay = self.latency.sample(self._latency_rng, message.source, message.destination)
+        delay = self.latency.sample(
+            self._stream("net.latency"), message.source, message.destination
+        )
         if delay < 0:
             raise NetworkError(f"latency model produced negative delay {delay}")
         window = self.perturbation
         if window is not None and not window.quiet:
-            rng = self._perturb_rng
+            rng = self._stream("net.perturb")
             if window.drop_probability > 0.0 and rng.random() < window.drop_probability:
                 self.perturb_stats["dropped"] += 1
                 self.stats.record_dropped(message)

@@ -67,11 +67,14 @@ class EventPrimitivesMixin:
         code drives every backend.  Returns the underlying event (useful
         in tests).
         """
-        event = self.event()
+        event = Event(self)
         event._ok = True
         event._value = value
         self.schedule(event, delay=delay)  # type: ignore[attr-defined]
-        event.add_callback(lambda fired: callback(fired.value))
+        # The event is fresh (not cancelled, never dispatched), so its
+        # callback list is appended to directly; this runs once per
+        # scheduled timer and per simulated message delivery.
+        event.callbacks.append(lambda fired: callback(fired.value))
         return event
 
     def run_process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Any:

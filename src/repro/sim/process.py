@@ -55,7 +55,7 @@ class Process(Event):
         start._ok = True
         start._value = None
         sim.schedule(start)
-        start.add_callback(self._resume)
+        start.callbacks.append(self._resume)  # fresh event: append directly
 
     # -- introspection ----------------------------------------------------
 

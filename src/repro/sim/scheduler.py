@@ -61,11 +61,6 @@ from .process import Process
 from .rng import RandomStreams
 from .tracing import TraceLog
 
-#: Source tags returned by ``Simulator._front`` (internal).
-_IMMEDIATE = 0
-_RUN = 1
-
-
 class Simulator(EventPrimitivesMixin):
     """Deterministic discrete-event simulator with a virtual clock.
 
@@ -119,6 +114,7 @@ class Simulator(EventPrimitivesMixin):
         self._ticks: list[int] = []
         self._size = 0          # entries enqueued (live + tombstones)
         self._tombstones = 0    # cancelled entries still enqueued
+        self._front_immediate = False  # lane of the entry _front returned
         self.rng = RandomStreams(seed)
         self.trace = TraceLog(enabled=trace)
         self.fail_silently = fail_silently
@@ -224,13 +220,16 @@ class Simulator(EventPrimitivesMixin):
 
     # -- queue front --------------------------------------------------------
 
-    def _front(self) -> Optional[tuple[int, tuple[float, int, Event]]]:
-        """The next live entry as ``(source, entry)``, or ``None`` if drained.
+    def _front(self) -> Optional[tuple[float, int, Event]]:
+        """The next live entry, or ``None`` if the queue is drained.
 
         Skips tombstones at the front of the immediate lane and the current
         run, and promotes the next tick bucket (filter cancelled, then sort)
         when the run is exhausted.  Idempotent: repeated calls without an
-        intervening consume return the same entry.
+        intervening consume return the same entry.  Which lane the entry
+        came from is recorded in ``_front_immediate`` for :meth:`_consume`
+        (runs once per processed event, so it returns the bare entry tuple
+        instead of allocating a ``(source, entry)`` wrapper).
         """
         immediate = self._immediate
         while immediate and immediate[0][2]._cancelled:
@@ -275,15 +274,18 @@ class Simulator(EventPrimitivesMixin):
             length = len(run)
         if pos < length:
             if immediate and immediate[0] <= run[pos]:
-                return _IMMEDIATE, immediate[0]
-            return _RUN, run[pos]
+                self._front_immediate = True
+                return immediate[0]
+            self._front_immediate = False
+            return run[pos]
         if immediate:
-            return _IMMEDIATE, immediate[0]
+            self._front_immediate = True
+            return immediate[0]
         return None
 
-    def _consume(self, source: int, entry: tuple[float, int, Event]) -> None:
+    def _consume(self, entry: tuple[float, int, Event]) -> None:
         """Dispatch the entry previously returned by :meth:`_front`."""
-        if source == _IMMEDIATE:
+        if self._front_immediate:
             self._immediate.popleft()
         else:
             self._run_pos += 1
@@ -303,17 +305,17 @@ class Simulator(EventPrimitivesMixin):
 
     def step(self) -> None:
         """Process the single next event in the queue."""
-        found = self._front()
-        if found is None:
+        entry = self._front()
+        if entry is None:
             raise IndexError("step() on an empty event queue")
-        self._consume(*found)
+        self._consume(entry)
 
     def peek(self) -> float:
         """Time of the next scheduled live event, or ``float('inf')`` if none."""
-        found = self._front()
-        if found is None:
+        entry = self._front()
+        if entry is None:
             return float("inf")
-        return found[1][0]
+        return entry[0]
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.
@@ -335,10 +337,10 @@ class Simulator(EventPrimitivesMixin):
         front = self._front
         consume = self._consume
         while True:
-            found = front()
-            if found is None or found[1][0] > limit:
+            entry = front()
+            if entry is None or entry[0] > limit:
                 break
-            consume(*found)
+            consume(entry)
         if until is not None:
             # The loop only processes events at times <= limit, so the clock
             # can be behind the requested time (sparse or empty queue).
@@ -350,12 +352,12 @@ class Simulator(EventPrimitivesMixin):
         front = self._front
         consume = self._consume
         while not until.processed:
-            found = front()
-            if found is None:
+            entry = front()
+            if entry is None:
                 raise SimulationDeadlock(
                     f"event {until!r} never triggered; queue is empty at t={self._now}"
                 )
-            consume(*found)
+            consume(entry)
         if until.ok:
             return until.value
         raise until.value

@@ -27,6 +27,7 @@ from repro.experiments.scenarios import (
     experiment_log_availability,
     experiment_master_departure,
     experiment_master_join,
+    experiment_protocol_scale,
     experiment_response_time,
     experiment_timestamp_generation,
 )
@@ -35,7 +36,7 @@ from repro.experiments.scenarios import (
 def test_experiment_registry_covers_all_ids():
     ids = [experiment_id for experiment_id, _fn in iter_all_experiments()]
     assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-                   "E11", "E12", "E13", "E14", "E15", "E16", "E18", "E19"]
+                   "E11", "E12", "E13", "E14", "E15", "E16", "E18", "E19", "E20"]
     assert ids == list(SPEC_FACTORIES)
     assert set(ids).issubset(EXPERIMENT_DESCRIPTIONS)
 
@@ -172,6 +173,21 @@ def test_e11_batched_commit_shape():
     assert batched["commits_per_s"] > single["commits_per_s"]
     assert batched["kts_allocations"] < single["kts_allocations"]
     assert batched["flushes"] == 2 and single["flushes"] == 16
+
+
+def test_e20_protocol_scale_shape():
+    table = experiment_protocol_scale(peer_counts=(64,), batches=(16, 1),
+                                      edits=16, probes=8, seed=120)
+    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    batched, single = rows
+    assert batched["batch"] == 16 and single["batch"] == 1
+    # every staged edit commits, at both pipeline shapes
+    assert all(row["committed"] == row["edits"] == 16 for row in rows)
+    # batching cuts coordination: fewer simulated seconds and messages
+    assert batched["sim_elapsed_s"] < single["sim_elapsed_s"]
+    assert batched["messages"] < single["messages"]
+    assert all(row["mean_hops"] >= 0 for row in rows)
+    assert all(row["commits_per_sec"] > 0 for row in rows)
 
 
 def test_run_all_subset_and_rendering():
