@@ -26,6 +26,22 @@ runtime (observer callbacks run inside timer callbacks, where re-entrant
 3. **OT convergence** — every caught-up user replica equals the canonical
    replay of the log prefix.
 
+When the system runs with authenticated patches
+(``ltr_config.auth_enabled``), two *adversarial* detectors join the pass:
+
+4. **Tamper detection** — every surviving log-entry and checkpoint copy is
+   re-verified against its carried HMAC signature; a copy whose content no
+   longer matches is reported with the name of the peer custodying it.
+5. **Equivocation detection** — surviving copies of one timestamp are
+   compared across placements; diverging content is attributed to the
+   Master-key peer of the document (the only role that can write a
+   timestamp to multiple placements), i.e. a forked timestamp sequence.
+
+Adversarial findings are reported both as human-readable violation lines
+and as structured records (``kind``/``key``/``ts``/``peer``/``detail``) in
+:attr:`CheckSnapshot.structured`, so drivers like the E17 misbehavior
+sweep can assert *which* peer was caught, not just that something was.
+
 :meth:`final_check` adds the *post-heal eventual convergence* check: it may
 drive the runtime (sync every peer, fetch the log through the real
 retrieval procedure) and is called once the plan has finished and the
@@ -50,7 +66,13 @@ from typing import Any, Iterable, Optional
 from ..core.consistency import replay_log
 from ..errors import ReproError
 from ..kts.authority import COUNTER_PREFIX
-from ..p2plog import LogEntry, make_log_key
+from ..p2plog import (
+    Checkpoint,
+    LogEntry,
+    make_log_key,
+    verify_checkpoint,
+    verify_entry,
+)
 
 
 @dataclass
@@ -61,6 +83,10 @@ class CheckSnapshot:
     label: str
     keys: dict[str, dict[str, Any]] = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
+    #: Structured adversarial findings: ``{"kind", "key", "ts", "peer",
+    #: "detail"}`` dicts, one per tampered copy / forked timestamp.  Kinds:
+    #: ``tampered-entry``, ``tampered-checkpoint``, ``forked``.
+    structured: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -74,6 +100,7 @@ class CheckSnapshot:
             "label": self.label,
             "keys": {key: dict(info) for key, info in sorted(self.keys.items())},
             "violations": list(self.violations),
+            "structured": [dict(record) for record in self.structured],
         }
 
 
@@ -117,7 +144,8 @@ class ConvergenceChecker:
         snapshot = CheckSnapshot(time=system.runtime.now, label=label)
         for key in self._keys(system):
             snapshot.keys[key] = self._check_key(
-                system, key, snapshot.violations, strict_counter=strict_counter
+                system, key, snapshot.violations, snapshot.structured,
+                strict_counter=strict_counter,
             )
         return snapshot
 
@@ -177,6 +205,13 @@ class ConvergenceChecker:
             found.extend(snapshot.violations)
         return found
 
+    def findings(self) -> list[dict[str, Any]]:
+        """Every structured adversarial finding so far, in snapshot order."""
+        found: list[dict[str, Any]] = []
+        for snapshot in self.snapshots:
+            found.extend(snapshot.structured)
+        return found
+
     @property
     def ok(self) -> bool:
         """``True`` while no snapshot has recorded a violation."""
@@ -188,6 +223,7 @@ class ConvergenceChecker:
             "tracked": list(self.tracked),
             "snapshots": [snapshot.to_dict() for snapshot in self.snapshots],
             "violations_total": len(self.violations()),
+            "findings_total": len(self.findings()),
         }
 
     def to_json(self) -> str:
@@ -207,25 +243,87 @@ class ConvergenceChecker:
         return sorted(discovered)
 
     def _check_key(self, system, key: str, violations: list[str],
+                   structured: list[dict[str, Any]],
                    *, strict_counter: bool = False) -> dict[str, Any]:
         owned, replicas = self._counter_values(system, key)
         last_ts = max(owned) if owned else max(replicas, default=0)
+        secret = (
+            system.ltr_config.auth_secret
+            if system.ltr_config.auth_enabled else None
+        )
 
         log_max = self._probe_log_max(system, key, last_ts)
         missing: list[int] = []
         mismatched: list[int] = []
+        tampered: list[int] = []
+        forked: list[int] = []
         entries: list[LogEntry] = []
         for ts in range(1, log_max + 1):
-            copies = self._entry_copies(system, key, ts)
-            if not copies:
+            located = self._entry_copies_located(system, key, ts)
+            if not located:
                 missing.append(ts)
                 continue
+            trusted = [copy for _, _, copy in located]
+            if secret is not None:
+                # Tamper detector: a copy whose content no longer matches
+                # its author signature, attributed to the custodying peer.
+                verified = []
+                for _, node_name, copy in located:
+                    if verify_entry(secret, copy):
+                        verified.append(copy)
+                        continue
+                    if ts not in tampered:
+                        tampered.append(ts)
+                    violations.append(
+                        f"{key}: log entry ts {ts} copy on {node_name} "
+                        f"fails signature verification"
+                    )
+                    structured.append({
+                        "kind": "tampered-entry", "key": key, "ts": ts,
+                        "peer": node_name,
+                        "detail": "copy content does not match its signature",
+                    })
+                if verified:
+                    trusted = verified
             # Content signature: what a replay applies.  Copies re-stamped
             # by a retried publish differ only in provenance and agree here.
-            signatures = {(copy.base_ts, repr(copy.patch)) for copy in copies}
+            signatures = {(copy.base_ts, repr(copy.patch)) for copy in trusted}
             if len(signatures) > 1:
                 mismatched.append(ts)
-            entries.append(copies[0])
+            # Equivocation detector: every copy *within* a placement agrees
+            # yet the placements disagree with each other.  Only the
+            # Master-key peer writes one timestamp to several placements,
+            # so a placement-aligned fork means it served diverging
+            # histories to disjoint reader sets.  (A byzantine *replica*
+            # corrupts individual copies instead, leaving its placement
+            # internally inconsistent — the tamper detector's territory.)
+            per_placement: dict[int, set] = {}
+            for index, _, copy in located:
+                per_placement.setdefault(index, set()).add(
+                    (copy.base_ts, repr(copy.patch))
+                )
+            if (
+                len(per_placement) > 1
+                and all(len(seen) == 1 for seen in per_placement.values())
+                and len(set().union(*per_placement.values())) > 1
+            ):
+                forked.append(ts)
+                try:
+                    master = system.master_of(key)
+                except ReproError:
+                    master = "<unreachable>"
+                violations.append(
+                    f"{key}: placements hold diverging content for ts {ts} "
+                    f"(timestamp sequence forked by Master-key peer {master})"
+                )
+                structured.append({
+                    "kind": "forked", "key": key, "ts": ts, "peer": master,
+                    "detail": (
+                        f"{len(set().union(*per_placement.values()))} distinct "
+                        f"contents across {len(located)} surviving copies"
+                    ),
+                })
+            entries.append(trusted[0])
 
         for ts in missing:
             violations.append(
@@ -235,6 +333,9 @@ class ConvergenceChecker:
             violations.append(
                 f"{key}: surviving copies of ts {ts} disagree on content"
             )
+        tampered_checkpoints = self._check_checkpoints(
+            system, key, secret, violations, structured
+        )
         allowance = 0 if strict_counter else self.max_in_flight
         if log_max - last_ts > allowance:
             violations.append(
@@ -287,10 +388,47 @@ class ConvergenceChecker:
             "counter_owners": len(owned),
             "missing_ts": missing,
             "mismatched_ts": mismatched,
+            "tampered_ts": tampered,
+            "forked_ts": forked,
+            "tampered_checkpoints": tampered_checkpoints,
             "caught_up": caught_up,
             "lagging": lagging,
             "diverged": sorted(diverged),
         }
+
+    def _check_checkpoints(self, system, key: str, secret: Optional[str],
+                           violations: list[str],
+                           structured: list[dict[str, Any]]) -> list[int]:
+        """Signature-verify every surviving checkpoint copy of ``key``.
+
+        Returns the sorted timestamps with at least one tampered copy.
+        Checkpoints are recognized by type while scanning node storage
+        directly, so no checkpoint hash family needs reconstructing.
+        """
+        if secret is None:
+            return []
+        tampered: list[int] = []
+        for node in system.ring.live_nodes():
+            for item in node.storage:
+                value = item.value
+                if not isinstance(value, Checkpoint):
+                    continue
+                if value.document_key != key:
+                    continue
+                if verify_checkpoint(secret, value):
+                    continue
+                if value.ts not in tampered:
+                    tampered.append(value.ts)
+                violations.append(
+                    f"{key}: checkpoint ts {value.ts} copy on "
+                    f"{node.address.name} fails signature verification"
+                )
+                structured.append({
+                    "kind": "tampered-checkpoint", "key": key, "ts": value.ts,
+                    "peer": node.address.name,
+                    "detail": "snapshot content does not match its signature",
+                })
+        return sorted(tampered)
 
     @staticmethod
     def _counter_values(system, key: str) -> tuple[list[int], list[int]]:
@@ -321,14 +459,29 @@ class ConvergenceChecker:
     @staticmethod
     def _entry_copies(system, key: str, ts: int) -> list[LogEntry]:
         """Every surviving copy of ``(key, ts)`` across all live peers."""
+        return [
+            copy for _, _, copy
+            in ConvergenceChecker._entry_copies_located(system, key, ts)
+        ]
+
+    @staticmethod
+    def _entry_copies_located(
+        system, key: str, ts: int
+    ) -> list[tuple[int, str, LogEntry]]:
+        """Surviving copies of ``(key, ts)`` with their location.
+
+        Yields ``(placement_index, node_name, entry)`` so detectors can
+        attribute a bad copy to the peer custodying it and group copies by
+        the hash-family placement they belong to.
+        """
         log_key = make_log_key(key, ts)
-        copies: list[LogEntry] = []
-        for function in system.hash_family:
+        copies: list[tuple[int, str, LogEntry]] = []
+        for index, function in enumerate(system.hash_family):
             storage_key = function.placement_key(log_key)
             for node in system.ring.live_nodes():
                 item = node.storage.get(storage_key)
                 if item is not None and isinstance(item.value, LogEntry):
-                    copies.append(item.value)
+                    copies.append((index, node.address.name, item.value))
         return copies
 
     @staticmethod

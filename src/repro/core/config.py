@@ -96,6 +96,21 @@ class LtrConfig:
         backend.  ``None`` (the default) lets :class:`~repro.core.LtrSystem`
         create a private temporary directory and remove it on
         :meth:`~repro.core.LtrSystem.shutdown`.
+    auth_enabled:
+        When ``True``, every commit carries a per-author HMAC over the
+        canonical wire encoding of the patch tuple, the Master rejects
+        unsigned or mis-signed submissions with
+        :class:`~repro.errors.AuthenticationError`, signs the checkpoints
+        it writes, and user peers verify signatures on every log entry and
+        checkpoint they retrieve, skipping tampered replicas (``DESIGN.md``
+        §"Adversarial model & authenticity").  ``False`` (the default)
+        keeps the trusting paper protocol byte-identical.
+    auth_secret:
+        Shared secret from which the per-author keys are derived
+        (HMAC-SHA256 of the author name under this secret).  Any holder of
+        the secret can mint any author's key — the scheme authenticates
+        *against outsiders and accidental corruption*, not against
+        colluding insiders; see the threat-model table in ``DESIGN.md``.
     """
 
     log_replication_factor: int = 3
@@ -115,8 +130,14 @@ class LtrConfig:
     runtime_backend: str = "sim"
     storage_backend: str = "memory"
     storage_dir: Optional[str] = None
+    auth_enabled: bool = False
+    auth_secret: str = "p2p-ltr-dev-secret"
 
     def __post_init__(self) -> None:
+        if self.auth_enabled and not self.auth_secret:
+            raise ConfigurationError(
+                "auth_enabled requires a non-empty auth_secret"
+            )
         if self.runtime_backend not in ("sim", "asyncio"):
             raise ConfigurationError(
                 f"runtime_backend must be 'sim' or 'asyncio', "

@@ -20,14 +20,21 @@ paper):
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Optional
 
 from ..chord import HashFunctionFamily, NodeService
 from ..dht import ChordDhtClient
-from ..errors import CheckpointUnavailable, PatchUnavailable
+from ..errors import (
+    AuthenticationError,
+    CheckpointUnavailable,
+    NodeUnreachable,
+    PatchUnavailable,
+    RequestTimeout,
+)
 from ..kts import TimestampAuthority
-from ..ot import Document
-from ..p2plog import Checkpoint, LogEntry, P2PLogClient
+from ..ot import Document, InsertLine
+from ..p2plog import Checkpoint, LogEntry, P2PLogClient, sign_checkpoint, verify_commit
 from ..runtime import FifoLock
 from .config import LtrConfig
 from .protocol import BatchValidationResult, ValidationResult
@@ -53,11 +60,20 @@ class MasterService(NodeService):
         self.validations_ok = 0
         self.validations_behind = 0
         self.validations_rejected = 0
+        self.validations_auth_rejected = 0
         self.patches_published = 0
         self.batches_ok = 0
         self.batches_behind = 0
         self.batches_rejected = 0
+        self.batches_auth_rejected = 0
         self.batch_edits_published = 0
+        # Fault-injection knob, set by the ``MasterEquivocation`` nemesis
+        # action: while positive, each successful (unbatched) validation
+        # additionally overwrites the entry's *secondary* log placements
+        # with a forked copy, so the peer sets reading h1 and h2..hn
+        # observe diverging timestamp sequences.  Never set in production.
+        self.equivocate_next = 0
+        self.equivocations = 0
         # Checkpointing state: the materialized document view this Master
         # maintains by applying each patch it validates (rebuilt from
         # checkpoint + log after a takeover), and the per-key timestamp of
@@ -77,10 +93,21 @@ class MasterService(NodeService):
             self._hash_family = HashFunctionFamily.create(
                 self.config.log_replication_factor, bits=node.config.bits
             )
+        if self.config.auth_enabled:
+            from ..p2plog import verify_checkpoint, verify_entry
+
+            secret = self.config.auth_secret
+            entry_verifier = lambda entry: verify_entry(secret, entry)  # noqa: E731
+            checkpoint_verifier = lambda ckpt: verify_checkpoint(secret, ckpt)  # noqa: E731
+        else:
+            entry_verifier = None
+            checkpoint_verifier = None
         self.log = P2PLogClient(
             ChordDhtClient(node),
             self._hash_family,
             max_parallel=self.config.max_parallel_fetches,
+            entry_verifier=entry_verifier,
+            checkpoint_verifier=checkpoint_verifier,
         )
         node.rpc.expose("ltr_validate_and_publish", self.validate_and_publish)
         node.rpc.expose("ltr_validate_and_publish_batch", self.validate_and_publish_batch)
@@ -118,11 +145,16 @@ class MasterService(NodeService):
         return self._authority().last_ts(key)
 
     def validate_and_publish(self, key: str, ts: int, patch: Any, author: str = "unknown",
-                             base_ts: Optional[int] = None):
+                             base_ts: Optional[int] = None,
+                             signature: Optional[str] = None):
         """Validate a tentative patch timestamp and publish the patch.
 
         Generator RPC handler (it performs DHT puts while publishing).
         Returns a :class:`~repro.core.protocol.ValidationResult` payload.
+        When ``auth_enabled``, ``signature`` must be the author's HMAC over
+        the commit (see :mod:`repro.p2plog.auth`); a missing or invalid
+        signature raises :class:`~repro.errors.AuthenticationError` before
+        any timestamp state is consulted.
         """
         lock = self._lock_for(key)
         retract: list[LogEntry] = []
@@ -130,7 +162,7 @@ class MasterService(NodeService):
         yield from lock.acquire()
         try:
             payload = yield from self._validate_one_locked(
-                key, ts, patch, author, base_ts, retract, checkpoints
+                key, ts, patch, author, base_ts, retract, checkpoints, signature
             )
         finally:
             lock.release()
@@ -144,10 +176,26 @@ class MasterService(NodeService):
 
     def _validate_one_locked(self, key: str, ts: int, patch: Any, author: str,
                              base_ts: Optional[int], retract: list[LogEntry],
-                             checkpoints: list[CheckpointJob]):
+                             checkpoints: list[CheckpointJob],
+                             signature: Optional[str] = None):
         """The critical section of :meth:`validate_and_publish`."""
         node = self.node
         authority = self._authority()
+        if self.config.auth_enabled and not verify_commit(
+            self.config.auth_secret, signature, key, ts, patch, author, base_ts
+        ):
+            self.validations_auth_rejected += 1
+            node.runtime.trace.annotate(
+                node.runtime.now,
+                "ltr-master",
+                f"{node.address.name} rejects {key}@{ts} from {author}: "
+                f"bad or missing commit signature",
+            )
+            raise AuthenticationError(
+                f"commit {key!r}@{ts} from {author!r} failed signature verification",
+                key=key,
+                ts=ts,
+            )
         last_ts = authority.last_ts(key)
         if ts != last_ts + 1:
             self.validations_behind += 1
@@ -166,6 +214,10 @@ class MasterService(NodeService):
             author=author,
             published_at=node.runtime.now,
             base_ts=base_ts,
+            # The author's proof travels with every replica; metadata is
+            # excluded from entry equality, so signed and unsigned copies
+            # compare the same everywhere else.
+            metadata={"sig": signature} if signature is not None else {},
         )
         replicas = 0
         if self.config.publish_before_ack:
@@ -186,6 +238,8 @@ class MasterService(NodeService):
         validated_ts = authority.gen_ts(key)
         if not self.config.publish_before_ack:
             replicas = yield from self.log.publish(entry)
+        if self.equivocate_next > 0:
+            yield from self._equivocate(entry)
         self._note_published(key, [patch], validated_ts, checkpoints)
         self.validations_ok += 1
         self.patches_published += 1
@@ -199,7 +253,8 @@ class MasterService(NodeService):
 
     def validate_and_publish_batch(self, key: str, ts: int, patches: Any,
                                    author: str = "unknown",
-                                   base_ts: Optional[int] = None):
+                                   base_ts: Optional[int] = None,
+                                   signatures: Optional[Any] = None):
         """Validate and publish a whole commit batch under one critical section.
 
         Generator RPC handler, the batched counterpart of
@@ -227,7 +282,8 @@ class MasterService(NodeService):
         try:
             try:
                 payload = yield from self._validate_batch_locked(
-                    key, ts, patches, author, base_ts, retract, checkpoints
+                    key, ts, patches, author, base_ts, retract, checkpoints,
+                    signatures,
                 )
             finally:
                 lock.release()
@@ -246,7 +302,8 @@ class MasterService(NodeService):
 
     def _validate_batch_locked(self, key: str, ts: int, patches: Any, author: str,
                                base_ts: Optional[int], retract: list[LogEntry],
-                               checkpoints: list[CheckpointJob]):
+                               checkpoints: list[CheckpointJob],
+                               signatures: Optional[Any] = None):
         """The critical section of :meth:`validate_and_publish_batch`.
 
         Runs with the per-document lock held.  Entries that must be removed
@@ -259,6 +316,33 @@ class MasterService(NodeService):
         patches = list(patches)
         if not patches:
             raise ValueError(f"empty commit batch proposed for {key!r}")
+        sigs: list[Optional[str]] = (
+            list(signatures) if signatures is not None else [None] * len(patches)
+        )
+        if self.config.auth_enabled:
+            valid = len(sigs) == len(patches) and all(
+                verify_commit(
+                    self.config.auth_secret, sigs[offset], key, ts + offset,
+                    patches[offset], author,
+                    (base_ts + offset) if base_ts is not None else None,
+                )
+                for offset in range(len(patches))
+            )
+            if not valid:
+                self.batches_auth_rejected += 1
+                node.runtime.trace.annotate(
+                    node.runtime.now,
+                    "ltr-master",
+                    f"{node.address.name} rejects batch {key}@{ts}"
+                    f"(+{len(patches)}) from {author}: bad or missing "
+                    f"commit signatures",
+                )
+                raise AuthenticationError(
+                    f"batch {key!r}@{ts}(+{len(patches)}) from {author!r} "
+                    f"failed signature verification",
+                    key=key,
+                    ts=ts,
+                )
         last_ts = authority.last_ts(key)
         if ts != last_ts + 1:
             self.batches_behind += 1
@@ -281,6 +365,9 @@ class MasterService(NodeService):
                 # state produced by its predecessor, i.e. `offset`
                 # timestamps past the batch's base.
                 base_ts=(base_ts + offset) if base_ts is not None else None,
+                metadata=(
+                    {"sig": sigs[offset]} if sigs[offset] is not None else {}
+                ),
             )
             for offset, patch in enumerate(patches)
         ]
@@ -337,6 +424,41 @@ class MasterService(NodeService):
         return BatchValidationResult.ok(
             first_ts, first_ts + len(patches) - 1, replicas
         ).to_payload()
+
+    def _equivocate(self, entry: LogEntry):
+        """Fault injection: serve a forked copy of ``entry`` to part of the ring.
+
+        Overwrites every *secondary* placement (``h2..hn``) of the entry
+        with a copy whose patch was altered after signing — the peer set
+        whose reads land on ``h1`` and the (disjoint) set falling back to
+        the other placements observe diverging timestamp sequences.  The
+        forked copy keeps the original signature, so signed-mode readers
+        reject it on retrieval and the cross-copy comparison in
+        ``repro.check`` names this Master.  Armed by the
+        ``MasterEquivocation`` nemesis action via :attr:`equivocate_next`.
+        """
+        self.equivocate_next -= 1
+        self.equivocations += 1
+        forked_patch = entry.patch.with_operations(
+            tuple(entry.patch.operations)
+            + (InsertLine(0, f"<equivocation fork ts={entry.ts}>"),)
+        )
+        forked = replace(entry, patch=forked_patch)
+        log_key = entry.log_key
+        for index, function in enumerate(self.hash_family):
+            if index == 0:
+                continue
+            storage_key = function.placement_key(log_key)
+            try:
+                yield from self.log.dht.put(storage_key, forked, key_id=function(log_key))
+            except (RequestTimeout, NodeUnreachable):
+                continue
+        self.node.runtime.trace.annotate(
+            self.node.runtime.now,
+            "ltr-master",
+            f"{self.node.address.name} EQUIVOCATES on {entry.document_key}@{entry.ts}: "
+            f"secondary placements forked",
+        )
 
     def _lost_master_role(self, key: str, expected_last_ts: int) -> bool:
         """Did a re-election move the Master-key role away mid-request?
@@ -465,6 +587,10 @@ class MasterService(NodeService):
             created_at=node.runtime.now,
             author=node.address.name,
         )
+        if self.config.auth_enabled:
+            checkpoint.metadata["sig"] = sign_checkpoint(
+                self.config.auth_secret, checkpoint
+            )
         try:
             yield from self.log.publish_checkpoint(checkpoint)
         except CheckpointUnavailable:
@@ -572,11 +698,14 @@ class MasterService(NodeService):
             "validations_ok": self.validations_ok,
             "validations_behind": self.validations_behind,
             "validations_rejected": self.validations_rejected,
+            "validations_auth_rejected": self.validations_auth_rejected,
             "patches_published": self.patches_published,
             "batches_ok": self.batches_ok,
             "batches_behind": self.batches_behind,
             "batches_rejected": self.batches_rejected,
+            "batches_auth_rejected": self.batches_auth_rejected,
             "batch_edits_published": self.batch_edits_published,
+            "equivocations": self.equivocations,
             "checkpoints_written": self.checkpoints_written,
             "checkpoint_rebuilds": self.checkpoint_rebuilds,
             "checkpoint_placements_removed": self.checkpoint_placements_removed,

@@ -37,7 +37,7 @@ from ..ot import (
     integrate_remote_patches,
     make_patch,
 )
-from ..p2plog import P2PLogClient
+from ..p2plog import P2PLogClient, author_key, sign_commit, verify_checkpoint, verify_entry
 from .batch import CommitBatch
 from .config import LtrConfig
 from .protocol import (
@@ -71,8 +71,23 @@ class UserPeer:
             hash_family = HashFunctionFamily.create(
                 self.config.log_replication_factor, bits=node.config.bits
             )
+        if self.config.auth_enabled:
+            # Keyed at peer creation (DESIGN.md §"Adversarial model &
+            # authenticity"): the signing key for this author, plus
+            # retrieval-side verifiers so every fetched log entry and
+            # checkpoint is authenticated before it is trusted.
+            secret = self.config.auth_secret
+            self._auth_key: Optional[bytes] = author_key(secret, self.author)
+            entry_verifier = lambda entry: verify_entry(secret, entry)  # noqa: E731
+            checkpoint_verifier = lambda ckpt: verify_checkpoint(secret, ckpt)  # noqa: E731
+        else:
+            self._auth_key = None
+            entry_verifier = None
+            checkpoint_verifier = None
         self.log = P2PLogClient(
-            self.dht, hash_family, max_parallel=self.config.max_parallel_fetches
+            self.dht, hash_family, max_parallel=self.config.max_parallel_fetches,
+            entry_verifier=entry_verifier,
+            checkpoint_verifier=checkpoint_verifier,
         )
         self.documents: dict[str, Document] = {}
         self.pending: dict[str, Patch] = {}
@@ -256,14 +271,23 @@ class UserPeer:
                     f"{attempts - 1} attempts"
                 )
             proposal_ts = replica.applied_ts + 1
+            arguments: dict[str, Any] = dict(
+                ts=proposal_ts,
+                patch=pending,
+                author=self.author,
+                base_ts=replica.applied_ts,
+            )
+            if self._auth_key is not None:
+                # Signed per attempt: a behind round rebases the pending
+                # patch and moves the proposal timestamp, so each proposal
+                # carries a fresh HMAC over exactly what it submits.
+                arguments["signature"] = sign_commit(
+                    self._auth_key, key, proposal_ts, pending,
+                    self.author, replica.applied_ts,
+                )
             try:
                 payload = yield from self._call_master(
-                    key,
-                    "ltr_validate_and_publish",
-                    ts=proposal_ts,
-                    patch=pending,
-                    author=self.author,
-                    base_ts=replica.applied_ts,
+                    key, "ltr_validate_and_publish", **arguments
                 )
             except MasterUnavailable:
                 self.pending[key] = pending
@@ -375,13 +399,24 @@ class UserPeer:
                     f"edits for {key!r} after {attempts - 1} attempts"
                 )
             proposal_ts = replica.applied_ts + 1
-            payload = yield from self._call_master(
-                key,
-                "ltr_validate_and_publish_batch",
+            arguments: dict[str, Any] = dict(
                 ts=proposal_ts,
                 patches=staged,
                 author=self.author,
                 base_ts=replica.applied_ts,
+            )
+            if self._auth_key is not None:
+                # One HMAC per chained patch, re-signed on every attempt
+                # (behind rounds rebase the chain and move the base).
+                arguments["signatures"] = [
+                    sign_commit(
+                        self._auth_key, key, proposal_ts + offset, patch,
+                        self.author, replica.applied_ts + offset,
+                    )
+                    for offset, patch in enumerate(staged)
+                ]
+            payload = yield from self._call_master(
+                key, "ltr_validate_and_publish_batch", **arguments
             )
             result = BatchValidationResult.from_payload(payload)
 

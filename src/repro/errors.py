@@ -221,6 +221,23 @@ class MasterUnavailable(LtrError):
     """No Master-key peer (nor a successor) could be reached for a key."""
 
 
+class AuthenticationError(LtrError):
+    """A patch, log entry or checkpoint failed signature verification.
+
+    Raised when ``LtrConfig.auth_enabled`` is set and an HMAC computed over
+    the canonical wire encoding of the object does not match the signature
+    it carries: at the Master when a user peer submits an unsigned or
+    mis-signed patch, and at user peers when every surviving replica of a
+    log entry turns out to be tampered (see ``DESIGN.md`` §"Adversarial
+    model & authenticity").
+    """
+
+    def __init__(self, message: str, key: object = None, ts: object = None) -> None:
+        super().__init__(message)
+        self.key = key
+        self.ts = ts
+
+
 class ConfigurationError(ReproError):
     """Invalid configuration was supplied to a component."""
 

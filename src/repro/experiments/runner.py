@@ -41,6 +41,8 @@ QUICK_PARAMETERS: dict[str, dict] = {
     "E15": {"restart_delays": (3.0,), "load_intervals": (0.75,),
             "peers": 8, "tail": 4.0},
     "E16": {"process_counts": (3,), "peers_per_process": 2, "commits": 18},
+    "E17": {"misbehaviors": ("drop", "corrupt", "replay", "equivocate"),
+            "rates": (0.5, 1.0), "peers": 8, "probes": 8},
     "E18": {"peer_counts": (1000, 2000), "lookups": 120, "documents": 128},
     "E19": {"recoveries": ("durable", "amnesiac"), "peers": 10, "edits": 16,
             "converge_budget": 20.0},
@@ -72,6 +74,8 @@ FULL_PARAMETERS: dict[str, dict] = {
     "E15": {"restart_delays": (2.0, 5.0, 8.0), "load_intervals": (0.5, 1.0),
             "peers": 12, "tail": 6.0},
     "E16": {"process_counts": (3, 5), "peers_per_process": 2, "commits": 48},
+    "E17": {"misbehaviors": ("drop", "corrupt", "replay", "equivocate"),
+            "rates": (0.25, 0.5, 1.0), "peers": 12, "probes": 16},
     "E18": {"peer_counts": (1000, 10000, 100000), "lookups": 1000, "documents": 256},
     "E19": {"recoveries": ("durable", "amnesiac"), "peers": 12, "edits": 48,
             "converge_budget": 40.0},

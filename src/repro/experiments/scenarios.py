@@ -59,6 +59,7 @@ from ..workloads import (
 __all__ = [
     "EXPERIMENT_CHORD_CONFIG",
     "SPEC_FACTORIES",
+    "experiment_adversarial_sweep",
     "experiment_baseline_comparison",
     "experiment_batched_commit",
     "experiment_chord_lookup",
@@ -1705,6 +1706,156 @@ def experiment_live_cluster(
 
 
 # ---------------------------------------------------------------------------
+# E17 — Adversarial misbehavior sweep (byzantine peers + Master equivocation)
+# ---------------------------------------------------------------------------
+
+#: The misbehavior kinds E17 sweeps: three byzantine-storage modes plus a
+#: Master that forks the timestamp sequence it serves.
+E17_MISBEHAVIORS = ("drop", "corrupt", "replay", "equivocate")
+
+#: Nemesis config with authenticated patches on: every commit is signed
+#: with the author's HMAC key and every retrieval re-verifies, which is
+#: what lets byzantine lies be *masked* (tampered copies skipped at fetch
+#: time) or *detected* (checker signature scan) instead of silently
+#: corrupting replicas.  Checkpoints are enabled so checkpoint-shaped
+#: writes are part of the attack surface too.
+E17_LTR_CONFIG = replace(
+    NEMESIS_LTR_CONFIG,
+    auth_enabled=True,
+    checkpoint_enabled=True,
+    checkpoint_interval=4,
+)
+
+
+def _e17_cast(system: LtrSystem) -> tuple[str, str, str]:
+    """(writer, master, victim) for the adversarial sweep.
+
+    The victim — the peer whose storage turns byzantine — is never the
+    writer, the Master-key peer or the Master's counter-replica successor,
+    so the lies target the replicated log/checkpoint copies it custodies
+    rather than trivially killing the control path.
+    """
+    writer, master, minority = _nemesis_cast(system, NEMESIS_KEY)
+    return writer, master, minority[0]
+
+
+def _e17_plan(ctx: ScenarioContext, system: LtrSystem) -> FaultPlan:
+    """One misbehaving actor per cell: a byzantine store or a forking Master."""
+    misbehavior = ctx.params["misbehavior"]
+    rate = ctx.params["rate"]
+    _writer, master, victim = _e17_cast(system)
+    if misbehavior == "equivocate":
+        count = max(1, round(rate * ctx.params["probes"]))
+        return FaultPlan().master_equivocation(at=1.0, peer=master, count=count)
+    return FaultPlan().byzantine(at=1.0, peer=victim, mode=misbehavior, rate=rate)
+
+
+def _measure_adversarial_sweep(ctx: ScenarioContext) -> dict:
+    misbehavior = ctx.params["misbehavior"]
+    rate = ctx.params["rate"]
+    peers = ctx.params["peers"]
+    probes = ctx.params["probes"]
+    edit_interval = ctx.params["edit_interval"]
+    system = ctx.build_system(peers, ltr_config=E17_LTR_CONFIG)
+    key = NEMESIS_KEY
+    writer, master, victim = _e17_cast(system)
+    system.edit_and_commit(writer, key, "base revision")
+
+    checker = ConvergenceChecker(keys=[key])
+    tracker = RecoveryTracker()
+    ctx.install_nemesis(system, observers=(checker, tracker))
+    _drive_probes(system, tracker, writer, key,
+                  interval=edit_interval, count=probes)
+    final = checker.final_check(system, settle=1.0)
+
+    findings = checker.findings()
+    named = {str(finding["peer"]) for finding in findings}
+    culprit = master if misbehavior == "equivocate" else victim
+    detected = bool(checker.violations())
+    # Masked: despite the lies every replica converged on the canonical
+    # replay and the log stayed retrievable end to end.
+    masked = bool(final.keys.get(key, {}).get("converged", False))
+    summary = tracker.summary()
+    return {
+        "misbehavior": misbehavior,
+        "rate": rate,
+        "commits_attempted": summary["probes_attempted"],
+        "commits_ok": summary["probes_ok"],
+        "success_fraction": round(summary["success_fraction"], 3),
+        "detections": len(findings),
+        "violations": len(checker.violations()),
+        "detected": detected,
+        "masked": masked,
+        # The sweep's invariant: a misbehaving run may be masked, detected,
+        # or both — but never neither.  A row with silent_divergence=True
+        # means replicas forked and no detector said a word.
+        "silent_divergence": (not masked) and (not detected),
+        "culprit_named": (not detected) or (culprit in named),
+    }
+
+
+def adversarial_sweep_spec(
+    misbehaviors: Sequence[str] = E17_MISBEHAVIORS,
+    rates: Sequence[float] = (0.5, 1.0),
+    peers: int = 8,
+    probes: int = 8,
+    edit_interval: float = 0.5,
+    seed: int = 17,
+) -> ScenarioSpec:
+    """Misbehavior-kind × rate sweep with authenticated patches on."""
+    return ScenarioSpec(
+        scenario_id="E17",
+        title="E17 Adversarial misbehavior sweep",
+        description=(
+            "Adversarial scenario: one peer's storage turns byzantine "
+            "(ack-then-drop, corrupt or replay every k-th log/checkpoint "
+            "write) or the Master-key peer equivocates (forks the timestamp "
+            "sequence across placements), while a writer keeps committing "
+            "signed patches.  The convergence checker re-verifies every "
+            "surviving copy against its HMAC signature and compares content "
+            "across placements; every injected misbehavior must be masked "
+            "by replication or detected and attributed — silent_divergence "
+            "must stay False in every cell."
+        ),
+        columns=(
+            "misbehavior", "rate", "commits_attempted", "commits_ok",
+            "success_fraction", "detections", "violations", "detected",
+            "masked", "silent_divergence", "culprit_named",
+        ),
+        grid={
+            "misbehavior": tuple(misbehaviors),
+            "rate": tuple(rates),
+        },
+        constants={
+            "peers": peers, "probes": probes, "edit_interval": edit_interval,
+        },
+        seed=seed,
+        nemesis=_e17_plan,
+        measure=_measure_adversarial_sweep,
+        notes=(
+            "expected shape: drop is masked by replication (honest copies "
+            "survive), corrupt/replay are masked at retrieval and detected by "
+            "the signature scan naming the byzantine peer, equivocation is "
+            "detected as a placement-aligned fork attributed to the Master; "
+            "silent_divergence is False everywhere",
+        ),
+    )
+
+
+def experiment_adversarial_sweep(
+    misbehaviors: Sequence[str] = E17_MISBEHAVIORS,
+    rates: Sequence[float] = (0.5, 1.0),
+    peers: int = 8,
+    probes: int = 8,
+    edit_interval: float = 0.5,
+    seed: int = 17,
+) -> ResultTable:
+    """Legacy-style entry point for E17; see :func:`adversarial_sweep_spec`."""
+    return run_scenario(adversarial_sweep_spec(
+        misbehaviors, rates, peers, probes, edit_interval, seed)).table
+
+
+# ---------------------------------------------------------------------------
 # E18 — Kernel scale sweep (warm ring construction + Zipf lookup traffic)
 # ---------------------------------------------------------------------------
 
@@ -2238,6 +2389,7 @@ SPEC_FACTORIES: dict[str, Callable[..., ScenarioSpec]] = {
     "E14": partition_heal_spec,
     "E15": master_takeover_spec,
     "E16": live_cluster_spec,
+    "E17": adversarial_sweep_spec,
     "E18": scale_sweep_spec,
     "E19": durable_restart_spec,
     "E20": protocol_scale_spec,
@@ -2263,6 +2415,7 @@ def iter_all_experiments() -> Iterable[tuple[str, Callable[..., ResultTable]]]:
         ("E14", experiment_partition_heal),
         ("E15", experiment_master_takeover),
         ("E16", experiment_live_cluster),
+        ("E17", experiment_adversarial_sweep),
         ("E18", experiment_scale_sweep),
         ("E19", experiment_durable_restart),
         ("E20", experiment_protocol_scale),

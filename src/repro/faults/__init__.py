@@ -12,6 +12,13 @@ model checker lives in :mod:`repro.check`; ``DESIGN.md`` §"Fault
 injection & checking" documents the grammar and the determinism contract.
 """
 
+from .byzantine import (
+    BYZANTINE_MODES,
+    ByzantinePeer,
+    MasterEquivocation,
+    MisbehavingStore,
+    RestoreStorage,
+)
 from .nemesis import Nemesis
 from .plan import (
     ALL_ACTION_KINDS,
@@ -34,7 +41,9 @@ from .plan import (
 
 __all__ = [
     "ALL_ACTION_KINDS",
+    "BYZANTINE_MODES",
     "BeginPerturbation",
+    "ByzantinePeer",
     "CrashPeer",
     "DurableRestartPeer",
     "EndPerturbation",
@@ -46,8 +55,11 @@ __all__ = [
     "KillProcess",
     "KtsReplicaLag",
     "LeavePeer",
+    "MasterEquivocation",
+    "MisbehavingStore",
     "Nemesis",
     "PartitionNetwork",
     "RejoinPeer",
     "RestartPeer",
+    "RestoreStorage",
 ]

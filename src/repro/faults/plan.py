@@ -524,6 +524,37 @@ class FaultPlan:
         self.add(at + duration, KtsReplicaLag(0.0))
         return self
 
+    def byzantine(
+        self,
+        at: float,
+        peer: str,
+        *,
+        mode: str = "corrupt",
+        rate: float = 1.0,
+        duration: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Make ``peer``'s storage misbehave (drop/corrupt/replay log writes).
+
+        ``duration`` schedules the paired restore that many seconds later;
+        without it the peer stays byzantine for the rest of the run.
+        """
+        from .byzantine import ByzantinePeer, RestoreStorage
+
+        self.add(at, ByzantinePeer(peer, mode=mode, rate=rate))
+        if duration is not None:
+            if duration <= 0:
+                raise ConfigurationError(
+                    f"byzantine duration must be positive, got {duration}"
+                )
+            self.add(at + duration, RestoreStorage(peer))
+        return self
+
+    def master_equivocation(self, at: float, peer: str, *, count: int = 1) -> "FaultPlan":
+        """Arm ``peer``'s Master service to fork its next ``count`` validations."""
+        from .byzantine import MasterEquivocation
+
+        return self.add(at, MasterEquivocation(peer, count=count))
+
     def churn_storm(self, at: float, schedule: FailureSchedule) -> "FaultPlan":
         """Expand a scripted churn schedule into timed fault actions.
 
@@ -542,4 +573,5 @@ class FaultPlan:
 ALL_ACTION_KINDS: Sequence[str] = (
     "partition", "heal", "perturb-begin", "perturb-end", "crash", "restart",
     "durable-restart", "rejoin", "leave", "join", "kts-lag", "kill-process",
+    "byzantine", "byzantine-end", "equivocate",
 )

@@ -306,11 +306,25 @@ def from_wire(wire: Any) -> Any:
     body = wire.get("v")
     container = _CONTAINER_TAGS.get(tag)
     if container is not None:
-        return container(body, from_wire)
+        try:
+            return container(body, from_wire)
+        except CodecError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - attacker-controlled body
+            raise CodecError(
+                f"malformed body for container tag {tag!r}: {exc}"
+            ) from exc
     wire_type = _WIRE_TAGS.get(tag)
     if wire_type is None:
         raise CodecError(f"unknown wire tag {tag!r}; peer speaks a newer protocol?")
-    return wire_type.unpack(body, from_wire)
+    try:
+        return wire_type.unpack(body, from_wire)
+    except CodecError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - a tagged body is wire input,
+        # and unpack hooks index into it; any structural surprise an
+        # attacker cooks up must surface as a typed decode error.
+        raise CodecError(f"malformed body for wire tag {tag!r}: {exc}") from exc
 
 
 # ---------------------------------------------------------------------------
@@ -492,6 +506,8 @@ def decode_any(data: bytes) -> tuple[str, Any]:
                 f"message envelope decoded to {type(message).__qualname__}"
             )
         return kind, message
+    if kind != "payload":
+        raise CodecError(f"unknown envelope kind {kind!r}")
     return "payload", from_wire(wire)
 
 

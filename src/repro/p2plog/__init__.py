@@ -1,5 +1,14 @@
 """P2P-Log: the highly available, DHT-resident log of timestamped patches."""
 
+from .auth import (
+    author_key,
+    canonical_bytes,
+    sign_checkpoint,
+    sign_commit,
+    verify_checkpoint,
+    verify_commit,
+    verify_entry,
+)
 from .checkpoint import (
     CHECKPOINT_SALT_PREFIX,
     Checkpoint,
@@ -14,7 +23,14 @@ __all__ = [
     "Checkpoint",
     "LogEntry",
     "P2PLogClient",
+    "author_key",
+    "canonical_bytes",
     "make_checkpoint_index_key",
     "make_checkpoint_key",
     "make_log_key",
+    "sign_checkpoint",
+    "sign_commit",
+    "verify_checkpoint",
+    "verify_commit",
+    "verify_entry",
 ]

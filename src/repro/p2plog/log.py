@@ -15,6 +15,7 @@ from typing import Any, Optional, Sequence
 from ..chord import HashFunctionFamily
 from ..dht import DhtClient
 from ..errors import (
+    AuthenticationError,
     CheckpointUnavailable,
     KeyNotFound,
     NodeUnreachable,
@@ -44,6 +45,8 @@ class P2PLogClient:
         bits: Optional[int] = None,
         checkpoint_family: Optional[HashFunctionFamily] = None,
         max_parallel: int = 16,
+        entry_verifier=None,
+        checkpoint_verifier=None,
     ) -> None:
         if hash_family is None:
             effective_bits = bits if bits is not None else getattr(dht, "bits", None)
@@ -66,6 +69,18 @@ class P2PLogClient:
         self.hash_family = hash_family
         self.checkpoint_family = checkpoint_family
         self.max_parallel = max_parallel
+        #: Optional authenticity predicates (``DESIGN.md`` §"Adversarial
+        #: model & authenticity"): ``entry_verifier(entry) -> bool`` is
+        #: applied to every retrieved log entry and
+        #: ``checkpoint_verifier(checkpoint) -> bool`` to every retrieved
+        #: checkpoint.  A replica whose copy fails verification is treated
+        #: like an unreachable placement — retrieval falls through to the
+        #: next hash function — so tampering is *masked* while any honest
+        #: copy survives.
+        self.entry_verifier = entry_verifier
+        self.checkpoint_verifier = checkpoint_verifier
+        self.auth_rejects = 0
+        self.checkpoint_auth_rejects = 0
         self.published_entries = 0
         self.batched_publishes = 0
         self.retrievals = 0
@@ -183,15 +198,31 @@ class P2PLogClient:
         """
         log_key = make_log_key(document_key, ts)
         self.retrievals += 1
+        tampered = 0
         for index, function in enumerate(self.hash_family):
             storage_key = function.placement_key(log_key)
             try:
                 answer = yield from self.dht.get(storage_key, key_id=function(log_key))
             except _RETRIEVAL_ERRORS:
                 continue
+            value = answer["value"]
+            if self.entry_verifier is not None and not self.entry_verifier(value):
+                # A reachable replica served a copy that fails signature
+                # verification — skip it like a dead placement and keep
+                # looking for an honest copy.
+                self.auth_rejects += 1
+                tampered += 1
+                continue
             if index > 0:
                 self.fallback_reads += 1
-            return answer["value"]
+            return value
+        if tampered:
+            raise AuthenticationError(
+                f"every surviving copy of ({document_key!r}, ts={ts}) failed "
+                f"signature verification ({tampered} tampered placement(s))",
+                key=document_key,
+                ts=ts,
+            )
         raise PatchUnavailable(document_key, ts)
 
     def fetch_range(self, document_key: str, from_ts: int, to_ts: int, *,
@@ -258,6 +289,12 @@ class P2PLogClient:
             answer = yield from self.dht.get_many(items)
             for offset, value in enumerate(answer["values"]):
                 ts = window_start + offset
+                if value is not None and self.entry_verifier is not None \
+                        and not self.entry_verifier(value):
+                    # Tampered primary copy: treat it like a miss so the
+                    # per-timestamp chain below hunts for an honest replica.
+                    self.auth_rejects += 1
+                    value = None
                 if value is None:
                     # Fall back to the per-timestamp chain (counts its own
                     # retrieval and fallback statistics).
@@ -392,8 +429,16 @@ class P2PLogClient:
                 answer = yield from self.dht.get(storage_key, key_id=function(checkpoint_key))
             except _RETRIEVAL_ERRORS:
                 continue
+            value = answer["value"]
+            if self.checkpoint_verifier is not None \
+                    and not self.checkpoint_verifier(value):
+                # A corrupted checkpoint is never fatal: skip the copy, and
+                # if every placement is tampered the caller degrades to the
+                # paper's full log replay (the tampering is masked).
+                self.checkpoint_auth_rejects += 1
+                continue
             self.checkpoints_fetched += 1
-            return answer["value"]
+            return value
         self.checkpoint_misses += 1
         raise CheckpointUnavailable(document_key, ts)
 
@@ -473,5 +518,7 @@ class P2PLogClient:
             "checkpoints_fetched": self.checkpoints_fetched,
             "checkpoint_misses": self.checkpoint_misses,
             "checkpoints_removed": self.checkpoints_removed,
+            "auth_rejects": self.auth_rejects,
+            "checkpoint_auth_rejects": self.checkpoint_auth_rejects,
             "replication_factor": self.replication_factor,
         }

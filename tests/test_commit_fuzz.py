@@ -94,47 +94,8 @@ def run_actions(seed: int, batched: bool, actions: list[tuple]) -> None:
     writers = system.peer_names()[:WRITERS]
 
     for action in actions:
-        kind = action[0]
         try:
-            if kind == "edit":
-                _, writer_index, key, lines = action
-                writer = writers[writer_index]
-                text = "\n".join(f"{line} by {writer}" for line in lines)
-                if batched:
-                    system.stage(writer, key, text)
-                else:
-                    system.edit_and_commit(writer, key, text)
-            elif kind == "flush":
-                _, writer_index, key = action
-                if batched:
-                    system.flush(writers[writer_index], key)
-                else:
-                    system.commit(writers[writer_index], key)
-            elif kind == "sync":
-                _, writer_index, key = action
-                system.sync(writers[writer_index], key)
-            elif kind == "join":
-                system.add_peer(f"fuzz-joiner-{action[1]}")
-            elif kind == "depart_master":
-                _, key, crash = action
-                master = system.master_of(key)
-                if master in writers or len(system.peer_names()) <= MIN_LIVE_PEERS:
-                    continue
-                if crash:
-                    system.crash(master)
-                else:
-                    system.leave(master)
-            elif kind == "checkpoint":
-                system.checkpoint_now(action[1])
-            elif kind == "gc":
-                system.gc_checkpoints(action[1])
-            elif kind == "cold_join":
-                _, tag, key = action
-                name = f"cold-joiner-{tag}"
-                system.add_peer(name)
-                system.sync(name, key)
-            elif kind == "settle":
-                system.run_for(action[1])
+            _replay_honest_action(system, writers, batched, action)
         except ReproError:
             # A commit racing a membership change may fail; the edits stay
             # pending/staged and the invariants must still hold at the end.
@@ -192,3 +153,232 @@ def test_action_scripts_are_deterministic():
     """The same seed draws the same script (reproducibility contract)."""
     assert generate_actions(99) == generate_actions(99)
     assert generate_actions(99) != generate_actions(100)
+
+
+# ---------------------------------------------------------------------------
+# Byzantine extension: tamper / replay / equivocate in the action grammar
+# ---------------------------------------------------------------------------
+#
+# Signed-mode runs add three adversarial action forms.  The invariant is
+# weaker than the honest grammar's — byzantine lies *may* break the commit
+# invariants — but it is never vacuous: a run must either stay clean
+# (every lie masked by replication and signature-checked retrieval) or the
+# convergence checker must report a violation.  Failing both — broken
+# invariants with a silent checker — is the bug class this fuzz hunts.
+
+ADVERSARIAL_STEPS = 20
+
+
+def generate_adversarial_actions(seed: int,
+                                 steps: int = ADVERSARIAL_STEPS) -> list[tuple]:
+    """The honest grammar plus byzantine action forms (all draws up front):
+
+    * ``("tamper", victim_slot, mode)`` — wrap the victim's storage in a
+      :class:`~repro.faults.MisbehavingStore` (``mode`` is ``corrupt`` or
+      ``drop``)
+    * ``("replay", victim_slot)`` — same wrapper in replay mode
+    * ``("unwrap", victim_slot)`` — restore the victim's honest storage
+    * ``("equivocate", key)`` — arm the key's Master to fork its next
+      validation across placements
+    """
+    rng = RandomStreams(seed).stream("adversarial-actions")
+    honest = generate_actions(seed, steps)
+    actions: list[tuple] = []
+    for action in honest:
+        roll = rng.random()
+        if roll < 0.10:
+            actions.append(("tamper", rng.randrange(PEERS - WRITERS),
+                            rng.choice(("corrupt", "drop"))))
+        elif roll < 0.15:
+            actions.append(("replay", rng.randrange(PEERS - WRITERS)))
+        elif roll < 0.19:
+            actions.append(("unwrap", rng.randrange(PEERS - WRITERS)))
+        elif roll < 0.26:
+            actions.append(("equivocate", rng.choice(KEYS)))
+        actions.append(action)
+    return actions
+
+
+def run_adversarial_actions(seed: int, batched: bool,
+                            actions: list[tuple]) -> None:
+    """Replay a byzantine action script in signed mode; converge or report.
+
+    Raises AssertionError only on *silent divergence*: the end-state
+    invariants are broken and the checker recorded no violation.
+    """
+    from repro.check import ConvergenceChecker
+    from repro.faults import MisbehavingStore
+
+    checkpointing = {
+        "auth_enabled": True,
+        "checkpoint_enabled": True,
+        "checkpoint_interval": 4,
+        "checkpoint_retention": 2,
+        "grouped_fetch": True,
+    }
+    config = (
+        LtrConfig(batch_enabled=True, batch_max_edits=4, **checkpointing)
+        if batched else LtrConfig(**checkpointing)
+    )
+    system = LtrSystem(ltr_config=config, seed=seed, latency=ConstantLatency(0.004))
+    system.bootstrap(PEERS)
+    writers = system.peer_names()[:WRITERS]
+    bystanders = system.peer_names()[WRITERS:]
+
+    def victim(slot: int):
+        name = bystanders[slot % len(bystanders)]
+        node = system.ring.nodes.get(name)
+        return node if node is not None and node.alive else None
+
+    for action in actions:
+        kind = action[0]
+        try:
+            if kind in ("tamper", "replay"):
+                mode = action[2] if kind == "tamper" else "replay"
+                node = victim(action[1])
+                if node is None:
+                    continue
+                store = node.storage
+                if isinstance(store, MisbehavingStore):
+                    store = store._inner
+                node.storage = MisbehavingStore(store, mode=mode, every=2)
+            elif kind == "unwrap":
+                node = victim(action[1])
+                if node is not None and isinstance(node.storage, MisbehavingStore):
+                    node.storage = node.storage._inner
+            elif kind == "equivocate":
+                master = system.master_of(action[1])
+                service = system.ring.node(master).service("ltr-master")
+                service.equivocate_next += 1
+            else:
+                _replay_honest_action(system, writers, batched, action)
+        except ReproError:
+            continue
+
+    system.run_for(3.0)
+    if batched:
+        for writer in writers:
+            for key in KEYS:
+                try:
+                    system.flush(writer, key)
+                except ReproError:
+                    system.user(writer).discard_batch(key)
+
+    clean = True
+    try:
+        assert_system_invariants(system, KEYS)
+    except (AssertionError, ReproError):
+        clean = False
+    if clean:
+        return
+    checker = ConvergenceChecker(keys=list(KEYS))
+    snapshot = checker.check_now(system, label="adversarial-end")
+    assert snapshot.violations, (
+        "silent divergence: byzantine run broke the commit invariants and "
+        "the checker reported nothing"
+    )
+
+
+def _replay_honest_action(system, writers, batched, action) -> None:
+    """One honest-grammar action against ``system`` (shared replay body)."""
+    kind = action[0]
+    if kind == "edit":
+        _, writer_index, key, lines = action
+        writer = writers[writer_index]
+        text = "\n".join(f"{line} by {writer}" for line in lines)
+        if batched:
+            system.stage(writer, key, text)
+        else:
+            system.edit_and_commit(writer, key, text)
+    elif kind == "flush":
+        _, writer_index, key = action
+        if batched:
+            system.flush(writers[writer_index], key)
+        else:
+            system.commit(writers[writer_index], key)
+    elif kind == "sync":
+        _, writer_index, key = action
+        system.sync(writers[writer_index], key)
+    elif kind == "join":
+        system.add_peer(f"fuzz-joiner-{action[1]}")
+    elif kind == "depart_master":
+        _, key, crash = action
+        master = system.master_of(key)
+        if master in writers or len(system.peer_names()) <= MIN_LIVE_PEERS:
+            return
+        if crash:
+            system.crash(master)
+        else:
+            system.leave(master)
+    elif kind == "checkpoint":
+        system.checkpoint_now(action[1])
+    elif kind == "gc":
+        system.gc_checkpoints(action[1])
+    elif kind == "cold_join":
+        _, tag, key = action
+        name = f"cold-joiner-{tag}"
+        system.add_peer(name)
+        system.sync(name, key)
+    elif kind == "settle":
+        system.run_for(action[1])
+
+
+def _adversarial_failure(seed: int, batched: bool, actions: list[tuple]):
+    try:
+        run_adversarial_actions(seed, batched, actions)
+    except AssertionError as exc:
+        return exc
+    return None
+
+
+def _shrink_adversarial(seed: int, batched: bool, actions: list[tuple]) -> int:
+    best = len(actions)
+    candidate = best // 2
+    while candidate > 0 and _adversarial_failure(
+            seed, batched, actions[:candidate]) is not None:
+        best = candidate
+        candidate //= 2
+    while best > 1 and _adversarial_failure(
+            seed, batched, actions[:best - 1]) is not None:
+        best -= 1
+    return best
+
+
+def test_adversarial_scripts_are_deterministic():
+    assert generate_adversarial_actions(99) == generate_adversarial_actions(99)
+    assert generate_adversarial_actions(99) != generate_adversarial_actions(100)
+    kinds = {action[0] for action in generate_adversarial_actions(99)}
+    assert kinds & {"tamper", "replay", "equivocate"}, (
+        "the adversarial grammar drew no byzantine actions at this seed"
+    )
+
+
+def test_adversarial_smoke_seed_converges_or_reports():
+    """One fast signed-mode byzantine run (the CI adversarial-smoke gate)."""
+    actions = generate_adversarial_actions(8)
+    failure = _adversarial_failure(8, False, actions)
+    if failure is None:
+        return
+    prefix = _shrink_adversarial(8, False, actions)
+    pytest.fail(
+        f"silent divergence: {failure!r}\n"
+        f"reproduce with: run_adversarial_actions(seed=8, batched=False, "
+        f"actions=generate_adversarial_actions(8)[:{prefix}])"
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("batched", [False, True], ids=["unbatched", "batched"])
+@pytest.mark.parametrize("seed", [8, 71, 512])
+def test_fuzzed_byzantine_interleavings_converge_or_report(seed, batched):
+    actions = generate_adversarial_actions(seed)
+    failure = _adversarial_failure(seed, batched, actions)
+    if failure is None:
+        return
+    prefix = _shrink_adversarial(seed, batched, actions)
+    pytest.fail(
+        f"silent divergence: {failure!r}\n"
+        f"reproduce with: run_adversarial_actions(seed={seed}, "
+        f"batched={batched}, "
+        f"actions=generate_adversarial_actions({seed})[:{prefix}])"
+    )

@@ -36,7 +36,7 @@ from repro.experiments.scenarios import (
 def test_experiment_registry_covers_all_ids():
     ids = [experiment_id for experiment_id, _fn in iter_all_experiments()]
     assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-                   "E11", "E12", "E13", "E14", "E15", "E16", "E18", "E19", "E20"]
+                   "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"]
     assert ids == list(SPEC_FACTORIES)
     assert set(ids).issubset(EXPERIMENT_DESCRIPTIONS)
 

@@ -1,0 +1,158 @@
+"""Nemesis plans at ring scale: 10^3 peers on a warm ring (slow).
+
+The ROADMAP scale gap: the fault-injection paths (partition/heal, churn
+storms) had only ever run against rings of tens of peers, while the scale
+work (E18/E20) exercised 10^3-10^5 peers with no faults at all.  These
+regressions close the gap by replaying the two flagship nemesis plans —
+E14's partition-heal and the churn soak — against a warm 1000-peer ring
+built the E20 way (``SCALE_CHORD_CONFIG``, ``bootstrap(..., warm=True)``).
+
+What scale changes about the faults: with 25-50 s maintenance intervals
+nothing "repairs" the ring during a short fault window, so the protocol
+itself — retries, replica fan-out, the retrieval procedure — has to carry
+the probes through.  Eviction-driven healing that small rings lean on
+simply never fires here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import ConvergenceChecker
+from repro.core import LtrSystem
+from repro.errors import ReproError
+from repro.experiments.scenarios import NEMESIS_LTR_CONFIG, SCALE_CHORD_CONFIG
+from repro.faults import FaultPlan, Nemesis
+from repro.net import ConstantLatency
+from repro.workloads import ChurnProfile, generate_churn_schedule
+
+pytestmark = pytest.mark.slow
+
+PEERS = 1000
+KEY = "xwiki:nemesis-at-scale"
+
+
+def scale_system(seed: int) -> LtrSystem:
+    """A warm 1000-peer system, built the E20 way (join-by-join would
+    dominate the test many times over)."""
+    system = LtrSystem(
+        ltr_config=NEMESIS_LTR_CONFIG,
+        chord_config=SCALE_CHORD_CONFIG,
+        seed=seed,
+        latency=ConstantLatency(0.003),
+    )
+    system.bootstrap(PEERS, warm=True)
+    return system
+
+
+def cast_roles(system: LtrSystem, key: str, minority_size: int = 2):
+    """``(writer, master, successor, minority)`` — the E14 role assignment:
+    the probe writer is never the Master, and the minority excludes the
+    Master's successor so counter replicas survive on the majority side."""
+    ring = system.peer_names()
+    master = system.master_of(key)
+    writer = next(name for name in ring if name != master)
+    successor = ring[(ring.index(master) + 1) % len(ring)]
+    protected = {writer, master, successor}
+    minority = [name for name in ring if name not in protected][:minority_size]
+    return writer, master, successor, minority
+
+
+def drive_probes(system: LtrSystem, writer: str, *, count: int,
+                 interval: float) -> int:
+    """Periodic probe commits across the fault window; returns successes."""
+    start = system.runtime.now
+    succeeded = 0
+    for index in range(count):
+        target = start + (index + 1) * interval
+        if system.runtime.now < target:
+            system.run_for(target - system.runtime.now)
+        try:
+            system.edit_and_commit(writer, KEY, f"revision {index} by {writer}")
+            succeeded += 1
+        except ReproError:
+            pass
+    return succeeded
+
+
+def test_partition_heal_at_one_thousand_peers():
+    """E14's plan on a 1000-peer warm ring.
+
+    Two peers are cut away for six seconds — far shorter than any
+    maintenance interval, so no eviction fires and the majority routes
+    around the hole on retries and cached routes alone.  Post-heal the
+    islanded replica must converge through the normal retrieval path.
+    """
+    system = scale_system(seed=1009)
+    try:
+        writer, _master, _successor, minority = cast_roles(system, KEY)
+        system.edit_and_commit(writer, KEY, "base revision")
+        # A minority-side user replica goes stale behind the partition;
+        # post-heal convergence is measured against it.
+        observed = minority[0]
+        system.sync(observed, KEY)
+
+        checker = ConvergenceChecker(keys=[KEY])
+        system.add_observer(checker)
+        plan = FaultPlan().partition(
+            at=1.0, groups=[minority], heal_after=6.0, rejoin_after=1.0
+        )
+        nemesis = Nemesis(system, plan).start()
+
+        # Probes span split (1.0), heal (7.0) and rejoin (8.0).
+        succeeded = drive_probes(system, writer, count=8, interval=1.25)
+
+        assert nemesis.errors == []
+        # Writer and Master both sit on the majority side; the cut must not
+        # cost them a single commit.
+        assert succeeded == 8
+        snapshot = checker.final_check(system, settle=2.0)
+        assert snapshot.keys[KEY]["converged"]
+        assert checker.violations() == []
+    finally:
+        system.shutdown()
+
+
+def test_churn_soak_at_one_thousand_peers():
+    """A scripted churn storm (leaves, crashes, joins) on the warm ring.
+
+    The schedule is the E10 generator's output replayed through the fault
+    plan, so churn composes with the nemesis observers.  Crashed peers stay
+    unrepaired for the whole window (stabilize fires every 25 s); commits
+    and the final convergence check must survive on replica fan-out.
+    """
+    system = scale_system(seed=1013)
+    try:
+        writer, master, successor, _minority = cast_roles(system, KEY)
+        system.edit_and_commit(writer, KEY, "base revision")
+
+        profile = ChurnProfile(leave_rate=0.8, crash_rate=0.6, join_rate=0.8)
+        schedule = generate_churn_schedule(
+            initial_peers=system.peer_names(),
+            duration=12.0,
+            profile=profile,
+            seed=4242,
+            protected=(writer, master, successor),
+        )
+        # The soak is only meaningful if the storm actually churns.
+        kinds = {action for _when, action, _peer in schedule}
+        assert len(schedule) >= 15
+        assert kinds == {"leave", "crash", "join"}
+
+        checker = ConvergenceChecker(keys=[KEY])
+        system.add_observer(checker)
+        nemesis = Nemesis(system, FaultPlan().churn_storm(1.0, schedule)).start()
+
+        succeeded = drive_probes(system, writer, count=10, interval=1.5)
+
+        assert nemesis.errors == []
+        # The writer and the Master-key peer are protected from churn;
+        # random departures elsewhere may cost a retry but not the window.
+        assert succeeded >= 8
+        snapshot = checker.final_check(system, settle=5.0)
+        assert snapshot.keys[KEY]["converged"]
+        assert checker.violations() == []
+        # Joiners from the storm are live ring members afterwards.
+        assert any(name.startswith("joiner-") for name in system.peer_names())
+    finally:
+        system.shutdown()
